@@ -1,0 +1,114 @@
+//! Criterion bench behind Figure 11: wall-clock cost of the six
+//! instrumented process-abstraction methods on both kernels.
+//!
+//! The paper's numbers are simulated CPU cycles (see `fig11_cycles`); this
+//! bench confirms the same ordering holds for real wall-clock time of the
+//! simulated operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tt_hw::platform::NRF52840DK;
+use tt_hw::PtrU8;
+use tt_kernel::loader::flash_app;
+use tt_kernel::machine::Machine;
+use tt_kernel::process::{Flavor, Process};
+use tt_legacy::BugVariant;
+
+fn flavors() -> [(&'static str, Flavor); 2] {
+    [
+        ("tock", Flavor::Legacy(BugVariant::Fixed)),
+        ("ticktock", Flavor::Granular),
+    ]
+}
+
+fn mk_process(flavor: Flavor) -> Process {
+    let mut mem = NRF52840DK.memory();
+    let img = flash_app(&mut mem, 0x0004_0000, "bench", 0x1000, 3000, 2048).unwrap();
+    let machine = Machine::for_chip(&NRF52840DK);
+    Process::create(0, flavor, &machine, &img, PtrU8::new(0x2000_0000), 0x2_0000).unwrap()
+}
+
+fn bench_create(c: &mut Criterion) {
+    let mut group = c.benchmark_group("create");
+    for (name, flavor) in flavors() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut mem = NRF52840DK.memory();
+            let img = flash_app(&mut mem, 0x0004_0000, "bench", 0x1000, 3000, 2048).unwrap();
+            b.iter(|| {
+                let machine = Machine::for_chip(&NRF52840DK);
+                black_box(
+                    Process::create(0, flavor, &machine, &img, PtrU8::new(0x2000_0000), 0x2_0000)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_brk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brk");
+    for (name, flavor) in flavors() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut p = mk_process(flavor);
+            let ms = p.memory_start();
+            let mut toggle = false;
+            b.iter(|| {
+                toggle = !toggle;
+                let target = if toggle { ms + 2048 } else { ms + 2304 };
+                p.brk(PtrU8::new(black_box(target))).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocate_grant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocate_grant");
+    for (name, flavor) in flavors() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter_batched(
+                || mk_process(flavor),
+                |mut p| black_box(p.allocate_grant(0, 64).unwrap()),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_buffers");
+    for (name, flavor) in flavors() {
+        let mut p = mk_process(flavor);
+        let ms = p.memory_start();
+        group.bench_function(BenchmarkId::new("readwrite", name), |b| {
+            b.iter(|| p.build_readwrite_buffer(PtrU8::new(black_box(ms + 64)), 128))
+        });
+        group.bench_function(BenchmarkId::new("readonly", name), |b| {
+            b.iter(|| p.build_readonly_buffer(PtrU8::new(black_box(ms + 64)), 128))
+        });
+    }
+    group.finish();
+}
+
+fn bench_setup_mpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_mpu");
+    for (name, flavor) in flavors() {
+        let p = mk_process(flavor);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| p.setup_mpu())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_create,
+    bench_brk,
+    bench_allocate_grant,
+    bench_buffers,
+    bench_setup_mpu
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench behind Figure 12: verification time of the monolithic
+//! kernel, the granular kernel, and the interrupt semantics.
+//!
+//! The headline ratio — granular verifies an order of magnitude faster
+//! than monolithic at equal domain density — shows up directly in the
+//! per-iteration times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_contracts::obligation::Registry;
+use tt_contracts::verifier::Verifier;
+use tt_legacy::BugVariant;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(10);
+
+    group.bench_function("monolithic", |b| {
+        b.iter(|| {
+            let mut registry = Registry::new();
+            tt_legacy::obligations::register_obligations(&mut registry, BugVariant::Fixed, 2);
+            let report = Verifier::new().verify(&registry);
+            assert!(report.all_verified());
+            report
+        })
+    });
+
+    group.bench_function("granular", |b| {
+        b.iter(|| {
+            let mut registry = Registry::new();
+            ticktock::obligations::register_obligations(&mut registry, 2);
+            let report = Verifier::new().verify(&registry);
+            assert!(report.all_verified());
+            report
+        })
+    });
+
+    group.bench_function("interrupts", |b| {
+        b.iter(|| {
+            let mut registry = Registry::new();
+            tt_fluxarm::contracts::register_obligations(&mut registry, 4);
+            let report = Verifier::new().verify(&registry);
+            assert!(report.all_verified());
+            report
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_bug_rediscovery(c: &mut Criterion) {
+    // How long it takes the verifier to REFUTE the buggy code: the
+    // bug-finding workflow of §2.2.
+    let mut group = c.benchmark_group("bug_rediscovery");
+    group.sample_size(10);
+
+    group.bench_function("monolithic_buggy", |b| {
+        b.iter(|| {
+            let mut registry = Registry::new();
+            tt_legacy::obligations::register_obligations(&mut registry, BugVariant::Buggy, 1);
+            let report = Verifier::new().verify(&registry);
+            assert!(!report.all_verified());
+            report
+        })
+    });
+
+    group.bench_function("interrupt_handlers_buggy", |b| {
+        b.iter(|| {
+            let mut registry = Registry::new();
+            tt_fluxarm::contracts::register_buggy_obligations(&mut registry);
+            let report = Verifier::new().verify(&registry);
+            assert_eq!(report.refuted().len(), 2);
+            report
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification, bench_bug_rediscovery);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates the §6.1 differential-testing result: 21 release tests run
+//! on both kernels, 5 expected output differences.
+
+use tt_kernel::differential::{render_report, run_release_suite};
+
+fn main() {
+    println!("Section 6.1: Differential testing (Tock vs TickTock, 21 release tests)");
+    let results = run_release_suite();
+    println!("{}", render_report(&results));
+    for r in &results {
+        if !r.matches() {
+            println!("--- {} ---", r.name);
+            println!("  tock:     {:?}", r.tock.console);
+            println!("  ticktock: {:?}", r.ticktock.console);
+        }
+    }
+    println!("(paper: 21 tests, 5 differing — all layout- or sensor-dependent)");
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §6.2 memory-usage microbenchmark: grow by 1 byte until
+//! failure; report total/app/grant/unused for Tock, TickTock, and padded
+//! TickTock.
+
+fn main() {
+    println!("Section 6.2: Memory usage (grow-by-1-byte-until-failure)");
+    let (tock, ticktock, padded) = tt_bench::e62::run();
+    println!("{}", tt_bench::e62::render(&tock, &ticktock, &padded));
+    println!("(paper: Tock 8,192 total / 6,656 app / 1,284 grant / 252 unused (3.08%);");
+    println!("        TickTock 7,780 / 6,144 / 1,200 / 436 (5.60%); padded TickTock unused 336)");
+}

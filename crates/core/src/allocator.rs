@@ -1,0 +1,550 @@
+//! `AppMemoryAllocator`: the hardware-agnostic process allocator
+//! (paper Fig. 4b and §4.3).
+//!
+//! The allocator is generic over the granular [`Mpu`] abstraction, so the
+//! same (once-verified) code runs on Cortex-M and every PMP chip. It owns
+//! both the kernel's logical view ([`AppBreaks`]) and the staged MPU
+//! regions ([`RArray`]), and maintains the paper's §4.3 invariant at every
+//! mutation:
+//!
+//! * `can_access_flash` — the flash region allows read-execute over
+//!   exactly the process code;
+//! * `can_access_ram` — the RAM region pair starts at `memory_start`,
+//!   covers at least `app_break`, and never reaches `kernel_break`;
+//! * `cannot_access_other` — no region overlaps the grant region or any
+//!   memory outside the process's own block.
+//!
+//! Because the breaks are *derived from the regions* (not recomputed), the
+//! kernel's view and the hardware-enforced layout agree by construction —
+//! the paper's cure for the *disagreement* problem.
+
+use crate::breaks::AppBreaks;
+use crate::mpu::{pair_span, Mpu};
+use crate::region::{RArray, RegionDescriptor};
+use tt_contracts::invariant;
+use tt_hw::cycles::{charge_n, Cost};
+use tt_hw::{Permissions, PtrU8};
+
+/// Region slot for the lower RAM region.
+pub const RAM_REGION_0: usize = 0;
+/// Region slot for the upper RAM region (the paper's
+/// `MAX_RAM_REGION_NUMBER`).
+pub const MAX_RAM_REGION_NUMBER: usize = 1;
+/// Region slot for the process flash region (the paper's
+/// `FLASH_REGION_NUMBER`).
+pub const FLASH_REGION_NUMBER: usize = 2;
+
+/// Errors from the allocation path (the paper's `AllocateAppMemoryError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocateAppMemoryError {
+    /// The RAM regions could not be created under the hardware constraints.
+    HeapError,
+    /// The flash region could not be created.
+    FlashError,
+    /// The block (including the grant reservation) exceeds the pool.
+    OutOfMemory,
+}
+
+/// Errors from post-allocation updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The requested break is outside the legal window (BUG3's missing
+    /// validation, §2.2).
+    InvalidBreak,
+    /// The hardware cannot cover the requested break.
+    HeapError,
+    /// The grant region is exhausted.
+    OutOfGrantMemory,
+}
+
+/// The allocator: logical breaks plus staged MPU regions.
+#[derive(Debug, Clone)]
+pub struct AppMemoryAllocator<M: Mpu> {
+    /// The kernel's logical view of the process layout.
+    pub breaks: AppBreaks,
+    /// The staged MPU configuration, one descriptor per hardware slot.
+    pub regions: RArray<M::Region>,
+}
+
+impl<M: Mpu> AppMemoryAllocator<M> {
+    /// `can_access_flash` from §4.3.
+    pub fn can_access_flash(&self) -> bool {
+        let r = self.regions.get(FLASH_REGION_NUMBER);
+        let start = self.breaks.flash_start.as_usize();
+        let end = start + self.breaks.flash_size;
+        r.can_access(start, end, Permissions::ReadExecuteOnly)
+            && !r.overlaps(0, start)
+            && !r.overlaps(end, usize::MAX)
+    }
+
+    /// `can_access_ram` from §4.3: the RAM pair covers `[memory_start,
+    /// app_break)` with read-write permissions and stops at or before
+    /// `kernel_break`.
+    pub fn can_access_ram(&self) -> bool {
+        let fst = self.regions.get(RAM_REGION_0);
+        let snd = self.regions.get(MAX_RAM_REGION_NUMBER);
+        let Some((start, end)) = pair_span(fst, snd) else {
+            return false;
+        };
+        start == self.breaks.memory_start.as_usize()
+            && end >= self.breaks.app_break.as_usize()
+            && end <= self.breaks.kernel_break.as_usize()
+            && fst.matches_permissions(Permissions::ReadWriteOnly)
+            && (!snd.is_set() || snd.matches_permissions(Permissions::ReadWriteOnly))
+    }
+
+    /// `cannot_access_other` from §4.3: no region overlaps the grant
+    /// region, and no region strays outside the process's own flash and
+    /// RAM block.
+    pub fn cannot_access_other(&self) -> bool {
+        let grant_lo = self.breaks.kernel_break.as_usize();
+        let grant_hi = self.breaks.memory_end();
+        let ram_lo = self.breaks.memory_start.as_usize();
+        let flash_lo = self.breaks.flash_start.as_usize();
+        let flash_hi = flash_lo + self.breaks.flash_size;
+        self.regions.iter().all(|r| {
+            if !r.is_set() {
+                return true;
+            }
+            if r.overlaps(grant_lo, grant_hi) {
+                return false;
+            }
+            let Some((s, e)) = r.accessible_range() else {
+                return true;
+            };
+            // Every set region lies inside the process flash or inside the
+            // process RAM block below the grant region.
+            (s >= flash_lo && e <= flash_hi) || (s >= ram_lo && e <= grant_lo)
+        })
+    }
+
+    /// Checks the complete §4.3 invariant (registered as a Flux struct
+    /// invariant; here executed at every construction and mutation).
+    pub fn check_invariants(&self) {
+        invariant!("AppMemoryAllocator", self.can_access_flash());
+        invariant!("AppMemoryAllocator", self.can_access_ram());
+        invariant!("AppMemoryAllocator", self.cannot_access_other());
+    }
+
+    /// The hardware-accessible RAM span `[start, end)` from the regions.
+    pub fn accessible_span(&self) -> Option<(usize, usize)> {
+        pair_span(
+            self.regions.get(RAM_REGION_0),
+            self.regions.get(MAX_RAM_REGION_NUMBER),
+        )
+    }
+
+    /// Allocates process memory (paper Fig. 4b).
+    ///
+    /// Asks the MPU for up to two regions covering the ideal size, derives
+    /// the actual layout **from the returned regions**, and places the
+    /// grant reservation after the hardware-accessible span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate_app_memory(
+        unalloc_start: PtrU8,
+        unalloc_size: usize,
+        min_size: usize,
+        app_size: usize,
+        kernel_size: usize,
+        flash_start: PtrU8,
+        flash_size: usize,
+    ) -> Result<Self, AllocateAppMemoryError> {
+        if app_size == 0 || kernel_size == 0 {
+            return Err(AllocateAppMemoryError::HeapError);
+        }
+        // Ask the MPU for <= two regions covering process RAM.
+        charge_n(Cost::Alu, 1);
+        let ideal_app_mem_size = std::cmp::max(min_size, app_size);
+        let pair = M::new_regions(
+            MAX_RAM_REGION_NUMBER,
+            unalloc_start,
+            unalloc_size,
+            ideal_app_mem_size,
+            Permissions::ReadWriteOnly,
+        )
+        .ok_or(AllocateAppMemoryError::HeapError)?;
+
+        // Compute the actual start and size from the `Region`s — the
+        // hardware-enforced truth, not a recomputation.
+        charge_n(Cost::Alu, 3);
+        let memory_start = pair.fst.start().ok_or(AllocateAppMemoryError::HeapError)?;
+        let snd_region_size = pair.snd.size().unwrap_or(0);
+        let app_mem_size =
+            pair.fst.size().ok_or(AllocateAppMemoryError::HeapError)? + snd_region_size;
+
+        // End of process-accessible memory; the grant reservation sits
+        // directly after it.
+        charge_n(Cost::Alu, 3);
+        let app_break = memory_start.offset(app_mem_size);
+        let memory_size = app_mem_size + kernel_size;
+        charge_n(Cost::Branch, 1);
+        if memory_start.as_usize() + memory_size > unalloc_start.as_usize() + unalloc_size {
+            return Err(AllocateAppMemoryError::OutOfMemory);
+        }
+        let kernel_break = memory_start.offset(memory_size);
+
+        let flash_region = M::create_exact_region(
+            FLASH_REGION_NUMBER,
+            flash_start,
+            flash_size,
+            Permissions::ReadExecuteOnly,
+        )
+        .ok_or(AllocateAppMemoryError::FlashError)?;
+
+        let breaks = AppBreaks::new(
+            memory_start,
+            memory_size,
+            app_break,
+            kernel_break,
+            flash_start,
+            flash_size,
+        );
+
+        // Set the regions.
+        let mut regions: RArray<M::Region> = RArray::new_unset();
+        charge_n(Cost::Store, 3);
+        regions.set(RAM_REGION_0, pair.fst);
+        regions.set(MAX_RAM_REGION_NUMBER, pair.snd);
+        regions.set(FLASH_REGION_NUMBER, flash_region);
+
+        let alloc = Self { breaks, regions };
+        alloc.check_invariants();
+        Ok(alloc)
+    }
+
+    /// The `brk`/`sbrk` path: moves the app break and rebuilds the RAM
+    /// regions to cover it, never past the grant region.
+    ///
+    /// The validation at the top is the one whose absence was BUG3: the
+    /// break is attacker-controlled and must be checked before any
+    /// arithmetic.
+    pub fn update_app_memory(&mut self, new_app_break: PtrU8) -> Result<(), UpdateError> {
+        charge_n(Cost::Branch, 2);
+        let brk = new_app_break.as_usize();
+        let memory_start = self.breaks.memory_start;
+        if brk <= memory_start.as_usize() || brk >= self.breaks.kernel_break.as_usize() {
+            return Err(UpdateError::InvalidBreak);
+        }
+        charge_n(Cost::Alu, 2);
+        let available = self.breaks.kernel_break.as_usize() - memory_start.as_usize();
+        let total = brk - memory_start.as_usize();
+        let pair = M::update_regions(
+            MAX_RAM_REGION_NUMBER,
+            memory_start,
+            available,
+            total,
+            Permissions::ReadWriteOnly,
+        )
+        .ok_or(UpdateError::HeapError)?;
+        charge_n(Cost::Store, 2);
+        self.regions.set(RAM_REGION_0, pair.fst);
+        self.regions.set(MAX_RAM_REGION_NUMBER, pair.snd);
+        self.breaks
+            .set_app_break(new_app_break)
+            .map_err(|_| UpdateError::InvalidBreak)?;
+        self.check_invariants();
+        Ok(())
+    }
+
+    /// Allocates `size` bytes of grant memory by moving the kernel break
+    /// down. **No MPU reconfiguration**: the grant region is above the
+    /// hardware-accessible span by invariant, so a pointer move plus two
+    /// bounds checks suffice — the Fig. 11 `allocate_grant` speedup.
+    pub fn allocate_grant(&mut self, size: usize) -> Result<PtrU8, UpdateError> {
+        charge_n(Cost::Alu, 3);
+        let new_kb = self
+            .breaks
+            .kernel_break
+            .as_usize()
+            .checked_sub(size)
+            .ok_or(UpdateError::OutOfGrantMemory)?
+            & !7; // Grant pointers are 8-aligned.
+        charge_n(Cost::Branch, 2);
+        let span_end = self.accessible_span().map(|(_, e)| e).unwrap_or(new_kb);
+        if new_kb <= self.breaks.app_break.as_usize() || new_kb < span_end {
+            return Err(UpdateError::OutOfGrantMemory);
+        }
+        self.breaks
+            .set_kernel_break(PtrU8::new(new_kb))
+            .map_err(|_| UpdateError::OutOfGrantMemory)?;
+        self.check_invariants();
+        Ok(PtrU8::new(new_kb))
+    }
+
+    /// Validates that a process-supplied buffer lies entirely within the
+    /// process-accessible RAM — the `allow_readonly`/`allow_readwrite`
+    /// check. Pure bounds arithmetic on the logical view; no MPU reads.
+    pub fn buffer_in_app_memory(&self, addr: PtrU8, len: usize) -> bool {
+        charge_n(Cost::Branch, 2);
+        charge_n(Cost::Alu, 2);
+        let start = addr.as_usize();
+        let Some(end) = start.checked_add(len) else {
+            return false;
+        };
+        start >= self.breaks.memory_start.as_usize() && end <= self.breaks.app_break.as_usize()
+    }
+
+    /// Writes the staged configuration into the MPU (`setup_mpu`, run at
+    /// every context switch into this process).
+    pub fn configure_mpu(&self, mpu: &M) {
+        mpu.configure_mpu(self.regions.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cortexm::GranularCortexM;
+    use crate::riscv::GranularPmpE310;
+    use tt_hw::mem::{AccessType, Privilege, ProtectionUnit};
+
+    const RAM: usize = 0x2000_0000;
+    const FLASH: usize = 0x0004_0000;
+
+    fn alloc_arm(app_size: usize, kernel_size: usize) -> AppMemoryAllocator<GranularCortexM> {
+        AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
+            PtrU8::new(RAM + 0x40),
+            0x2_0000,
+            0,
+            app_size,
+            kernel_size,
+            PtrU8::new(FLASH),
+            0x1000,
+        )
+        .expect("allocation")
+    }
+
+    #[test]
+    fn allocation_satisfies_all_invariants() {
+        let a = alloc_arm(3000, 1024);
+        assert!(a.can_access_flash());
+        assert!(a.can_access_ram());
+        assert!(a.cannot_access_other());
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn breaks_derive_from_hardware_regions() {
+        let a = alloc_arm(3000, 1024);
+        let (start, end) = a.accessible_span().unwrap();
+        assert_eq!(start, a.breaks.memory_start.as_usize());
+        assert_eq!(end, a.breaks.app_break.as_usize());
+        assert!(end - start > 3000, "accessible strictly exceeds request");
+        assert_eq!(
+            a.breaks.memory_size,
+            (end - start) + 1024,
+            "grant reservation directly after the span"
+        );
+    }
+
+    #[test]
+    fn grant_allocation_is_pointer_move_only() {
+        let mut a = alloc_arm(3000, 1024);
+        let regions_before = a.regions.clone();
+        let kb_before = a.breaks.kernel_break;
+        let ptr = a.allocate_grant(256).unwrap();
+        assert!(ptr.as_usize() < kb_before.as_usize());
+        assert!(ptr.as_usize() >= kb_before.as_usize() - 256 - 8);
+        // The MPU regions did not change.
+        for i in 0..8 {
+            assert_eq!(
+                a.regions.get(i).accessible_range(),
+                regions_before.get(i).accessible_range()
+            );
+        }
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn grant_exhaustion_is_detected() {
+        let mut a = alloc_arm(3000, 512);
+        // Eat the whole reservation.
+        let mut allocated = 0usize;
+        while a.allocate_grant(64).is_ok() {
+            allocated += 64;
+            assert!(allocated <= 1024, "grant grew past its reservation");
+        }
+        let err = a.allocate_grant(64).unwrap_err();
+        assert_eq!(err, UpdateError::OutOfGrantMemory);
+        // Invariants still hold after exhaustion.
+        a.check_invariants();
+    }
+
+    #[test]
+    fn brk_grow_rejected_when_no_room() {
+        let mut a = alloc_arm(3000, 1024);
+        // The app break already covers the whole accessible span; growing
+        // past kernel_break must fail with validation, not wrap.
+        let kb = a.breaks.kernel_break;
+        assert_eq!(
+            a.update_app_memory(kb),
+            Err(UpdateError::InvalidBreak),
+            "break at kernel_break is outside the legal window"
+        );
+        assert_eq!(
+            a.update_app_memory(PtrU8::new(usize::MAX / 2)),
+            Err(UpdateError::InvalidBreak)
+        );
+        assert_eq!(
+            a.update_app_memory(PtrU8::new(0)),
+            Err(UpdateError::InvalidBreak)
+        );
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn brk_shrink_and_regrow() {
+        let mut a = alloc_arm(3000, 1024);
+        let span_end = a.accessible_span().unwrap().1;
+        let shrunk = PtrU8::new(a.breaks.memory_start.as_usize() + 1024);
+        a.update_app_memory(shrunk).unwrap();
+        assert_eq!(a.breaks.app_break, shrunk);
+        let new_span_end = a.accessible_span().unwrap().1;
+        assert!(new_span_end <= span_end);
+        assert!(new_span_end >= shrunk.as_usize());
+        // Regrow to near the grant region.
+        let regrow = PtrU8::new(a.breaks.kernel_break.as_usize() - 8);
+        a.update_app_memory(regrow).unwrap();
+        assert_eq!(a.breaks.app_break, regrow);
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn brk_cannot_reach_grant_after_grant_allocation() {
+        let mut a = alloc_arm(3000, 1024);
+        a.allocate_grant(512).unwrap();
+        let kb = a.breaks.kernel_break.as_usize();
+        // Growing to one byte below the (lowered) kernel break still works…
+        // (if the hardware can cover it)
+        let res = a.update_app_memory(PtrU8::new(kb - 8));
+        if res.is_ok() {
+            let (_, end) = a.accessible_span().unwrap();
+            assert!(end <= kb, "MPU span may never reach the grant region");
+        }
+        // …but to the break itself never does.
+        assert_eq!(
+            a.update_app_memory(PtrU8::new(kb)),
+            Err(UpdateError::InvalidBreak)
+        );
+        a.check_invariants();
+    }
+
+    #[test]
+    fn hardware_agrees_with_logical_view_end_to_end() {
+        let mpu = GranularCortexM::with_fresh_hardware();
+        let mut a = alloc_arm(3000, 1024);
+        a.allocate_grant(128).unwrap();
+        a.configure_mpu(&mpu);
+        let hw = mpu.hardware();
+        let hw = hw.borrow();
+        let (span_start, span_end) = a.accessible_span().unwrap();
+        // Accessible span: user RW.
+        assert!(hw
+            .check(span_start, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+        assert!(hw
+            .check(span_end - 4, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+        // Grant region: denied.
+        for addr in [a.breaks.kernel_break.as_usize(), a.breaks.memory_end() - 4] {
+            assert!(!hw
+                .check(addr, 1, AccessType::Write, Privilege::Unprivileged)
+                .allowed());
+            assert!(!hw
+                .check(addr, 1, AccessType::Read, Privilege::Unprivileged)
+                .allowed());
+        }
+        // Flash: RX but not W.
+        assert!(hw
+            .check(FLASH, 4, AccessType::Execute, Privilege::Unprivileged)
+            .allowed());
+        assert!(!hw
+            .check(FLASH, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+        // Outside everything: denied.
+        assert!(!hw
+            .check(RAM + 0x3_0000, 1, AccessType::Read, Privilege::Unprivileged)
+            .allowed());
+    }
+
+    #[test]
+    fn works_generically_on_pmp() {
+        let a = AppMemoryAllocator::<GranularPmpE310>::allocate_app_memory(
+            PtrU8::new(0x8000_0000),
+            0x4000,
+            0,
+            2048,
+            512,
+            PtrU8::new(0x2000_0000),
+            0x1000,
+        )
+        .unwrap();
+        assert!(a.can_access_flash());
+        assert!(a.can_access_ram());
+        assert!(a.cannot_access_other());
+        let (start, end) = a.accessible_span().unwrap();
+        assert_eq!(start, 0x8000_0000);
+        assert!(end - start > 2048);
+        assert!(end - start <= 2056, "PMP slack is tight");
+    }
+
+    #[test]
+    fn buffer_validation_uses_logical_bounds() {
+        let a = alloc_arm(3000, 1024);
+        let ms = a.breaks.memory_start.as_usize();
+        let ab = a.breaks.app_break.as_usize();
+        assert!(a.buffer_in_app_memory(PtrU8::new(ms), 16));
+        assert!(a.buffer_in_app_memory(PtrU8::new(ab - 16), 16));
+        assert!(!a.buffer_in_app_memory(PtrU8::new(ab - 8), 16)); // Straddles.
+        assert!(!a.buffer_in_app_memory(PtrU8::new(ms - 4), 8)); // Below.
+        assert!(!a.buffer_in_app_memory(PtrU8::new(a.breaks.kernel_break.as_usize()), 8));
+        assert!(!a.buffer_in_app_memory(PtrU8::new(usize::MAX - 4), 8)); // Overflow.
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert_eq!(
+            AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
+                PtrU8::new(RAM),
+                0x2_0000,
+                0,
+                0,
+                1024,
+                PtrU8::new(FLASH),
+                0x1000,
+            )
+            .unwrap_err(),
+            AllocateAppMemoryError::HeapError
+        );
+    }
+
+    #[test]
+    fn pool_exhaustion_reports_out_of_memory() {
+        let err = AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
+            PtrU8::new(RAM),
+            4000, // Accessible span (3072) fits, but + 1024 grant does not.
+            0,
+            3000,
+            1024,
+            PtrU8::new(FLASH),
+            0x1000,
+        )
+        .unwrap_err();
+        assert_eq!(err, AllocateAppMemoryError::OutOfMemory);
+    }
+
+    #[test]
+    fn bad_flash_reports_flash_error() {
+        let err = AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
+            PtrU8::new(RAM),
+            0x2_0000,
+            0,
+            3000,
+            1024,
+            PtrU8::new(FLASH + 0x10), // Misaligned.
+            0x1000,
+        )
+        .unwrap_err();
+        assert_eq!(err, AllocateAppMemoryError::FlashError);
+    }
+}

@@ -1,0 +1,239 @@
+//! The kernel's logical view of process memory: `AppBreaks` (paper Fig. 6,
+//! §4.2).
+//!
+//! Every pointer relationship of Tock's memory-layout policy (Fig. 2) is an
+//! invariant checked at construction and at every mutation:
+//!
+//! * `kernel_break <= memory_start + memory_size` — the grant region stays
+//!   inside the process memory block;
+//! * `memory_start <= app_break` — the process break never precedes the
+//!   block;
+//! * `app_break < kernel_break` — process RAM and grant memory never
+//!   overlap (the §3.4 bug, excluded by type).
+
+use tt_contracts::invariant;
+use tt_hw::{AddrRange, PtrU8};
+
+/// Per-process memory layout pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppBreaks {
+    /// Start of the process memory block in RAM.
+    pub memory_start: PtrU8,
+    /// Total size of the block (process RAM + grant region).
+    pub memory_size: usize,
+    /// End (exclusive) of process-accessible RAM: stack, data, heap.
+    pub app_break: PtrU8,
+    /// Start (lowest address) of the kernel-owned grant region.
+    pub kernel_break: PtrU8,
+    /// Start of the process code in flash.
+    pub flash_start: PtrU8,
+    /// Size of the process code region.
+    pub flash_size: usize,
+}
+
+/// Error from break updates that would violate the layout policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakError {
+    /// The requested break precedes the start of process memory.
+    BelowMemoryStart,
+    /// The requested break collides with the grant region.
+    OverlapsGrant,
+    /// The grant region would grow below the app break.
+    GrantBelowAppBreak,
+    /// The grant region would leave the process memory block.
+    GrantOutOfBlock,
+}
+
+impl AppBreaks {
+    /// Checks the Fig. 6 invariants; called at every creation and update.
+    fn check(&self) {
+        invariant!(
+            "AppBreaks",
+            self.kernel_break.as_usize() <= self.memory_start.as_usize() + self.memory_size
+        );
+        invariant!(
+            "AppBreaks",
+            self.memory_start.as_usize() <= self.app_break.as_usize()
+        );
+        invariant!(
+            "AppBreaks",
+            self.app_break.as_usize() < self.kernel_break.as_usize()
+        );
+    }
+
+    /// Creates a layout, checking the invariants.
+    pub fn new(
+        memory_start: PtrU8,
+        memory_size: usize,
+        app_break: PtrU8,
+        kernel_break: PtrU8,
+        flash_start: PtrU8,
+        flash_size: usize,
+    ) -> Self {
+        let b = Self {
+            memory_start,
+            memory_size,
+            app_break,
+            kernel_break,
+            flash_start,
+            flash_size,
+        };
+        b.check();
+        b
+    }
+
+    /// End (exclusive) of the process memory block.
+    pub fn memory_end(&self) -> usize {
+        self.memory_start.as_usize() + self.memory_size
+    }
+
+    /// The process RAM range the MPU must allow.
+    pub fn ram_range(&self) -> AddrRange {
+        AddrRange::new(self.memory_start.as_usize(), self.app_break.as_usize())
+    }
+
+    /// The grant range the MPU must deny.
+    pub fn grant_range(&self) -> AddrRange {
+        AddrRange::new(self.kernel_break.as_usize(), self.memory_end())
+    }
+
+    /// The flash range the MPU must allow read-execute.
+    pub fn flash_range(&self) -> AddrRange {
+        AddrRange::from_start_size(self.flash_start, self.flash_size)
+    }
+
+    /// Bytes remaining between the app break and the grant region.
+    pub fn free_gap(&self) -> usize {
+        self.kernel_break.as_usize() - self.app_break.as_usize()
+    }
+
+    /// Moves the app break (the `brk` syscall), validating against the
+    /// policy *before* mutating — the validation whose absence was BUG3.
+    pub fn set_app_break(&mut self, new_break: PtrU8) -> Result<(), BreakError> {
+        if new_break.as_usize() < self.memory_start.as_usize() {
+            return Err(BreakError::BelowMemoryStart);
+        }
+        if new_break.as_usize() >= self.kernel_break.as_usize() {
+            return Err(BreakError::OverlapsGrant);
+        }
+        self.app_break = new_break;
+        self.check();
+        Ok(())
+    }
+
+    /// Moves the kernel break down (grant allocation grows the grant region
+    /// toward the app break).
+    pub fn set_kernel_break(&mut self, new_break: PtrU8) -> Result<(), BreakError> {
+        if new_break.as_usize() <= self.app_break.as_usize() {
+            return Err(BreakError::GrantBelowAppBreak);
+        }
+        if new_break.as_usize() > self.memory_end() {
+            return Err(BreakError::GrantOutOfBlock);
+        }
+        self.kernel_break = new_break;
+        self.check();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::{take_violations, with_mode, Mode};
+
+    fn breaks() -> AppBreaks {
+        AppBreaks::new(
+            PtrU8::new(0x2000_0000),
+            8192,
+            PtrU8::new(0x2000_1000),
+            PtrU8::new(0x2000_1800),
+            PtrU8::new(0x0004_0000),
+            4096,
+        )
+    }
+
+    #[test]
+    fn valid_layout_constructs() {
+        let b = breaks();
+        assert_eq!(b.memory_end(), 0x2000_2000);
+        assert_eq!(b.free_gap(), 0x800);
+        assert_eq!(b.ram_range(), AddrRange::new(0x2000_0000, 0x2000_1000));
+        assert_eq!(b.grant_range(), AddrRange::new(0x2000_1800, 0x2000_2000));
+        assert_eq!(b.flash_range(), AddrRange::new(0x0004_0000, 0x0004_1000));
+    }
+
+    #[test]
+    fn app_break_overlapping_grant_violates_invariant() {
+        with_mode(Mode::Observe, || {
+            let _ = AppBreaks::new(
+                PtrU8::new(0x2000_0000),
+                8192,
+                PtrU8::new(0x2000_1900), // Past kernel_break.
+                PtrU8::new(0x2000_1800),
+                PtrU8::new(0x0004_0000),
+                4096,
+            );
+        });
+        assert!(!take_violations().is_empty());
+    }
+
+    #[test]
+    fn kernel_break_outside_block_violates_invariant() {
+        with_mode(Mode::Observe, || {
+            let _ = AppBreaks::new(
+                PtrU8::new(0x2000_0000),
+                4096,
+                PtrU8::new(0x2000_0800),
+                PtrU8::new(0x2000_2000), // Past memory_end (0x2000_1000).
+                PtrU8::new(0x0004_0000),
+                4096,
+            );
+        });
+        assert!(!take_violations().is_empty());
+    }
+
+    #[test]
+    fn brk_updates_validate_against_policy() {
+        let mut b = breaks();
+        assert_eq!(
+            b.set_app_break(PtrU8::new(0x1FFF_0000)),
+            Err(BreakError::BelowMemoryStart)
+        );
+        assert_eq!(
+            b.set_app_break(PtrU8::new(0x2000_1800)),
+            Err(BreakError::OverlapsGrant)
+        );
+        b.set_app_break(PtrU8::new(0x2000_17FC)).unwrap();
+        assert_eq!(b.app_break.as_usize(), 0x2000_17FC);
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn grant_growth_validates_against_policy() {
+        let mut b = breaks();
+        assert_eq!(
+            b.set_kernel_break(PtrU8::new(0x2000_1000)),
+            Err(BreakError::GrantBelowAppBreak)
+        );
+        assert_eq!(
+            b.set_kernel_break(PtrU8::new(0x2000_2004)),
+            Err(BreakError::GrantOutOfBlock)
+        );
+        b.set_kernel_break(PtrU8::new(0x2000_1400)).unwrap();
+        assert_eq!(b.free_gap(), 0x400);
+    }
+
+    #[test]
+    fn grant_can_shrink_back_to_block_end() {
+        let mut b = breaks();
+        b.set_kernel_break(PtrU8::new(0x2000_2000)).unwrap();
+        assert_eq!(b.grant_range().len(), 0);
+    }
+
+    #[test]
+    fn brk_to_exact_start_is_allowed() {
+        let mut b = breaks();
+        b.set_app_break(PtrU8::new(0x2000_0000)).unwrap();
+        assert_eq!(b.ram_range().len(), 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! `DmaCell`: the safe DMA interface (paper Fig. 9, §4.6).
+//!
+//! DMA configuration registers take plain `usize` base pointers, so a
+//! driver could point the engine at *any* memory, bypassing both Rust's
+//! ownership and the MPU. TickTock's answer: a [`DmaCell`] takes ownership
+//! of a buffer while DMA may be running and hands back a [`DmaWrapper`] —
+//! the only value accepted by the DMA engine — whose address is valid by
+//! construction.
+//!
+//! The module also keeps the *unsound* [`LegacyTakeCell`] pattern the
+//! paper found misused in Tock: it lets the driver take the buffer back
+//! while DMA is still writing, creating a mutable-aliasing window that the
+//! simulator makes observable as a lost update.
+
+use std::cell::{Cell, RefCell};
+use tt_contracts::requires;
+use tt_hw::mem::PhysicalMemory;
+use tt_hw::AddrRange;
+
+/// A uniquely owned span of simulated RAM used as a DMA buffer.
+///
+/// Deliberately neither `Clone` nor `Copy`: holding a `DmaBuffer` *is* the
+/// ownership of those bytes, mirroring the `&'a mut T` of Fig. 9.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DmaBuffer {
+    range: AddrRange,
+}
+
+impl DmaBuffer {
+    /// Claims `[addr, addr + len)` as a DMA buffer.
+    pub fn new(addr: usize, len: usize) -> Self {
+        Self {
+            range: AddrRange::new(addr, addr + len),
+        }
+    }
+
+    /// The buffer's address range.
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+}
+
+/// The opaque, validated DMA handle (Fig. 9's `DmaWrapper`).
+///
+/// Only [`DmaCell::place`] can create one, so any `DmaWrapper` the engine
+/// receives corresponds to a buffer the cell owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaWrapper {
+    base: usize,
+    len: usize,
+}
+
+impl DmaWrapper {
+    /// The base pointer written to the DMA engine's address register.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// The buffer length written to the length register.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The safe DMA cell (Fig. 9's `DmaCell`).
+#[derive(Debug, Default)]
+pub struct DmaCell {
+    val: RefCell<Option<DmaBuffer>>,
+    in_progress: Cell<bool>,
+}
+
+impl DmaCell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places a buffer into the cell, transferring ownership for the
+    /// duration of the DMA operation. Returns `None` (cannot replace) if a
+    /// DMA operation is already in progress, exactly as in Fig. 9.
+    pub fn place(&self, buf: DmaBuffer) -> Option<DmaWrapper> {
+        if self.val.borrow().is_some() {
+            return None; // Cannot replace, DMA in progress.
+        }
+        let wrapper = DmaWrapper {
+            base: buf.range.start,
+            len: buf.range.len(),
+        };
+        *self.val.borrow_mut() = Some(buf);
+        self.in_progress.set(true);
+        Some(wrapper)
+    }
+
+    /// Marks the hardware operation finished (called from the DMA-complete
+    /// interrupt path).
+    pub fn operation_finished(&self) {
+        self.in_progress.set(false);
+    }
+
+    /// Retrieves the buffer after the DMA operation finishes.
+    ///
+    /// The paper marks this `unsafe` ("we must ensure DMA operation is
+    /// completed before calling"); here the same proof obligation is a
+    /// checked contract, so calling it with DMA still running is a
+    /// verification failure rather than silent aliasing.
+    pub fn completed(&self) -> Option<DmaBuffer> {
+        requires!("DmaCell::completed", !self.in_progress.get());
+        self.val.borrow_mut().take()
+    }
+
+    /// Whether an operation is currently outstanding.
+    pub fn busy(&self) -> bool {
+        self.in_progress.get()
+    }
+}
+
+/// The unsound legacy pattern: a take-anytime cell.
+///
+/// Tock's `TakeCell` was *intended* to represent DMA ownership, but "we
+/// discovered an instance in which TakeCells can be misused to break Rust's
+/// single ownership, by letting the driver read or write the buffer while
+/// DMA may be writing to it too" (§4.6).
+#[derive(Debug, Default)]
+pub struct LegacyTakeCell {
+    val: RefCell<Option<DmaBuffer>>,
+}
+
+impl LegacyTakeCell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Puts a buffer in.
+    pub fn put(&self, buf: DmaBuffer) {
+        *self.val.borrow_mut() = Some(buf);
+    }
+
+    /// Takes the buffer out — **even while DMA is running**. This is the
+    /// misuse window.
+    pub fn take(&self) -> Option<DmaBuffer> {
+        self.val.borrow_mut().take()
+    }
+}
+
+/// A simulated one-channel DMA engine.
+///
+/// `start` accepts only a [`DmaWrapper`]; `start_raw` models the MMIO
+/// reality the wrapper protects against (any `usize` goes) and exists so
+/// tests can demonstrate the unprotected failure mode.
+#[derive(Debug, Default)]
+pub struct SimDmaEngine {
+    active: Option<(DmaWrapper, Vec<u8>)>,
+}
+
+impl SimDmaEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a transfer of `data` into the wrapped buffer.
+    pub fn start(&mut self, wrapper: DmaWrapper, data: Vec<u8>) -> Result<(), DmaError> {
+        if self.active.is_some() {
+            return Err(DmaError::Busy);
+        }
+        if data.len() > wrapper.len() {
+            return Err(DmaError::Overrun);
+        }
+        self.active = Some((wrapper, data));
+        Ok(())
+    }
+
+    /// Models writing a raw base pointer into the engine's MMIO register:
+    /// no validation at all. Kept for the negative tests; real drivers go
+    /// through [`SimDmaEngine::start`].
+    pub fn start_raw(&mut self, base: usize, data: Vec<u8>) -> Result<(), DmaError> {
+        if self.active.is_some() {
+            return Err(DmaError::Busy);
+        }
+        self.active = Some((
+            DmaWrapper {
+                base,
+                len: data.len(),
+            },
+            data,
+        ));
+        Ok(())
+    }
+
+    /// Whether a transfer is outstanding.
+    pub fn busy(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Completes the outstanding transfer, writing into physical memory.
+    pub fn complete(&mut self, mem: &mut PhysicalMemory) -> Result<usize, DmaError> {
+        let (wrapper, data) = self.active.take().ok_or(DmaError::Idle)?;
+        mem.write_bytes(wrapper.base(), &data)
+            .map_err(|_| DmaError::Fault)?;
+        Ok(data.len())
+    }
+}
+
+/// DMA engine errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// A transfer is already outstanding.
+    Busy,
+    /// No transfer is outstanding.
+    Idle,
+    /// The data does not fit the wrapped buffer.
+    Overrun,
+    /// The transfer touched unmapped or read-only memory.
+    Fault,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::{take_violations, with_mode, Mode};
+    use tt_hw::mem::MemoryMap;
+
+    fn mem() -> PhysicalMemory {
+        PhysicalMemory::new(MemoryMap {
+            flash: AddrRange::new(0, 0x1000),
+            ram: AddrRange::new(0x2000_0000, 0x2001_0000),
+        })
+    }
+
+    #[test]
+    fn place_transfer_complete_roundtrip() {
+        let mut mem = mem();
+        let cell = DmaCell::new();
+        let mut engine = SimDmaEngine::new();
+        let wrapper = cell.place(DmaBuffer::new(0x2000_0100, 64)).unwrap();
+        engine.start(wrapper, vec![7u8; 64]).unwrap();
+        assert!(cell.busy());
+        assert_eq!(engine.complete(&mut mem).unwrap(), 64);
+        cell.operation_finished();
+        let buf = cell.completed().unwrap();
+        assert_eq!(buf.range(), AddrRange::new(0x2000_0100, 0x2000_0140));
+        assert_eq!(mem.read_u8(0x2000_0100).unwrap(), 7);
+        assert_eq!(mem.read_u8(0x2000_013F).unwrap(), 7);
+        assert_eq!(mem.read_u8(0x2000_0140).unwrap(), 0);
+    }
+
+    #[test]
+    fn cannot_place_while_occupied() {
+        let cell = DmaCell::new();
+        cell.place(DmaBuffer::new(0x2000_0000, 32)).unwrap();
+        assert!(cell.place(DmaBuffer::new(0x2000_1000, 32)).is_none());
+    }
+
+    #[test]
+    fn completed_before_finish_is_a_contract_violation() {
+        with_mode(Mode::Observe, || {
+            let cell = DmaCell::new();
+            cell.place(DmaBuffer::new(0x2000_0000, 32)).unwrap();
+            let _ = cell.completed(); // DMA still in progress!
+        });
+        assert!(take_violations()
+            .iter()
+            .any(|v| v.site == "DmaCell::completed"));
+    }
+
+    #[test]
+    fn engine_rejects_overrun_and_double_start() {
+        let cell = DmaCell::new();
+        let mut engine = SimDmaEngine::new();
+        let w = cell.place(DmaBuffer::new(0x2000_0000, 16)).unwrap();
+        assert_eq!(engine.start(w, vec![0; 32]), Err(DmaError::Overrun));
+        engine.start(w, vec![0; 16]).unwrap();
+        assert_eq!(engine.start(w, vec![0; 8]), Err(DmaError::Busy));
+    }
+
+    #[test]
+    fn raw_register_path_can_clobber_anything() {
+        // What the DmaWrapper prevents: a plain usize write targeting
+        // memory the driver never owned.
+        let mut mem = mem();
+        mem.write_u32(0x2000_8000, 0xAAAA_AAAA).unwrap(); // "Kernel data".
+        let mut engine = SimDmaEngine::new();
+        engine.start_raw(0x2000_8000, vec![0xFF; 4]).unwrap();
+        engine.complete(&mut mem).unwrap();
+        assert_eq!(mem.read_u32(0x2000_8000).unwrap(), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn takecell_misuse_aliases_the_buffer() {
+        // The §4.6 unsoundness: the driver takes the buffer back while the
+        // engine still holds the address, and both write. The driver's
+        // write is lost when the DMA completes — a data race made visible.
+        let mut mem = mem();
+        let cell = LegacyTakeCell::new();
+        let mut engine = SimDmaEngine::new();
+        cell.put(DmaBuffer::new(0x2000_0200, 16));
+        // Driver leaks the address into the engine…
+        engine.start_raw(0x2000_0200, vec![1; 16]).unwrap();
+        // …then takes the buffer back mid-flight and writes through it.
+        let buf = cell.take().expect("TakeCell lets this happen");
+        mem.write_bytes(buf.range().start, &[9; 16]).unwrap();
+        // DMA completes afterwards: the driver's bytes are clobbered.
+        engine.complete(&mut mem).unwrap();
+        assert_eq!(mem.read_u8(0x2000_0200).unwrap(), 1, "driver write lost");
+    }
+
+    #[test]
+    fn dma_cell_prevents_the_aliasing_window() {
+        // With DmaCell, the buffer cannot be retrieved until the operation
+        // is finished, so the driver's write happens strictly after DMA.
+        let mut mem = mem();
+        let cell = DmaCell::new();
+        let mut engine = SimDmaEngine::new();
+        let w = cell.place(DmaBuffer::new(0x2000_0200, 16)).unwrap();
+        engine.start(w, vec![1; 16]).unwrap();
+        engine.complete(&mut mem).unwrap();
+        cell.operation_finished();
+        let buf = cell.completed().unwrap();
+        mem.write_bytes(buf.range().start, &[9; 16]).unwrap();
+        assert_eq!(mem.read_u8(0x2000_0200).unwrap(), 9, "driver write wins");
+    }
+
+    #[test]
+    fn wrapper_reports_geometry() {
+        let cell = DmaCell::new();
+        let w = cell.place(DmaBuffer::new(0x2000_0000, 128)).unwrap();
+        assert_eq!(w.base(), 0x2000_0000);
+        assert_eq!(w.len(), 128);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! TickTock's core contribution: the granular MPU abstraction and the
+//! verified, hardware-agnostic process-memory allocator (paper §3.5, §4).
+//!
+//! The crate decomposes exactly as the paper's proof does:
+//!
+//! * [`region`] — the `RegionDescriptor` abstraction with its associated
+//!   refinements (Fig. 5, §4.1);
+//! * [`mpu`] — the granular `Mpu` trait (Fig. 3b);
+//! * [`breaks`] — `AppBreaks`, the kernel's logical view of process memory
+//!   with the Fig. 6 invariants (§4.2);
+//! * [`allocator`] — `AppMemoryAllocator`, generic over the MPU, holding
+//!   the logical↔hardware correspondence invariant (§4.3, Fig. 4b);
+//! * [`cortexm`] / [`riscv`] — the per-architecture drivers that implement
+//!   the refined contracts down to register bits (§4.4);
+//! * [`dma`] — the safe `DmaCell` interface (§4.6);
+//! * [`obligations`] — the Figure 12 "TickTock (Granular)" verification
+//!   workload.
+
+pub mod allocator;
+pub mod breaks;
+pub mod cortexm;
+pub mod dma;
+pub mod mpu;
+pub mod obligations;
+pub mod region;
+pub mod riscv;
+
+pub use allocator::{AllocateAppMemoryError, AppMemoryAllocator, UpdateError};
+pub use breaks::{AppBreaks, BreakError};
+pub use cortexm::{CortexMRegion, GranularCortexM};
+pub use dma::{DmaBuffer, DmaCell, DmaError, DmaWrapper, SimDmaEngine};
+pub use mpu::Mpu;
+pub use region::{OptPair, Pair, RArray, RegionDescriptor};
+pub use riscv::{GranularPmp, GranularPmpE310, GranularPmpEsp32C3, GranularPmpIbex, PmpRegion};

@@ -1,0 +1,134 @@
+//! TickTock's granular MPU abstraction (paper Fig. 3b).
+//!
+//! The methods here "are oblivious to application process layout, and
+//! instead deal exclusively with configuring hardware or creating regions
+//! with the hardware's restrictions in mind" (§3.5). The process allocator
+//! in [`crate::allocator`] is generic over this trait, so the same
+//! (verified once) kernel code runs on Cortex-M and all three PMP chips.
+
+use crate::region::{OptPair, RegionDescriptor};
+use tt_hw::{Permissions, PtrU8};
+
+/// The granular MPU interface.
+pub trait Mpu {
+    /// The hardware's region representation.
+    type Region: RegionDescriptor;
+
+    /// Creates up to two contiguous regions inside the available memory
+    /// block, jointly spanning **at least** `total_size` bytes while
+    /// satisfying the hardware's size/alignment constraints.
+    ///
+    /// `max_region_id` is the highest hardware slot reserved for the
+    /// process RAM (the pair uses `max_region_id - 1` and `max_region_id`).
+    fn new_regions(
+        max_region_id: usize,
+        unalloc_start: PtrU8,
+        unalloc_size: usize,
+        total_size: usize,
+        permissions: Permissions,
+    ) -> OptPair<Self::Region>;
+
+    /// Rebuilds the RAM regions for a new total size starting at
+    /// `region_start`, bounded by `available_size` (the bytes up to the
+    /// grant region). Used by `brk`/`sbrk`.
+    fn update_regions(
+        max_region_id: usize,
+        region_start: PtrU8,
+        available_size: usize,
+        total_size: usize,
+        permissions: Permissions,
+    ) -> OptPair<Self::Region>;
+
+    /// Creates one region covering **exactly** `[start, start + size)`, or
+    /// `None` if the hardware cannot express that range precisely (used for
+    /// the flash/code region, whose placement is fixed at load time).
+    fn create_exact_region(
+        region_id: usize,
+        start: PtrU8,
+        size: usize,
+        permissions: Permissions,
+    ) -> Option<Self::Region>;
+
+    /// Writes the configuration into the hardware, in slot order, and
+    /// enables the MPU for unprivileged execution.
+    fn configure_mpu(&self, regions: &[Self::Region]);
+
+    /// Disables memory protection (kernel execution, §2.1).
+    fn disable_mpu(&self);
+}
+
+/// Computes the combined accessible span of a region pair: the pair is
+/// contiguous by construction, so the span is `fst.start .. snd.end` (or
+/// `fst.end` when the second region is unset).
+pub fn pair_span<R: RegionDescriptor>(fst: &R, snd: &R) -> Option<(usize, usize)> {
+    let (start, fst_end) = fst.accessible_range()?;
+    match snd.accessible_range() {
+        Some((snd_start, snd_end)) => {
+            // Contiguity is a postcondition of new_regions/update_regions.
+            tt_contracts::ensures!("pair_span", snd_start == fst_end);
+            Some((start, snd_end))
+        }
+        None => Some((start, fst_end)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::{take_violations, with_mode, Mode};
+
+    #[derive(Debug, Clone)]
+    struct R(usize, Option<(usize, usize)>);
+    impl RegionDescriptor for R {
+        fn unset(id: usize) -> Self {
+            R(id, None)
+        }
+        fn start(&self) -> Option<PtrU8> {
+            self.1.map(|(s, _)| PtrU8::new(s))
+        }
+        fn size(&self) -> Option<usize> {
+            self.1.map(|(s, e)| e - s)
+        }
+        fn is_set(&self) -> bool {
+            self.1.is_some()
+        }
+        fn matches_permissions(&self, _: Permissions) -> bool {
+            self.is_set()
+        }
+        fn overlaps(&self, lo: usize, hi: usize) -> bool {
+            self.1.is_some_and(|(s, e)| s < hi && lo < e)
+        }
+        fn region_id(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn pair_span_joins_contiguous_regions() {
+        let fst = R(0, Some((0x1000, 0x1800)));
+        let snd = R(1, Some((0x1800, 0x1A00)));
+        assert_eq!(pair_span(&fst, &snd), Some((0x1000, 0x1A00)));
+    }
+
+    #[test]
+    fn pair_span_with_unset_second() {
+        let fst = R(0, Some((0x1000, 0x1800)));
+        let snd = R(1, None);
+        assert_eq!(pair_span(&fst, &snd), Some((0x1000, 0x1800)));
+    }
+
+    #[test]
+    fn pair_span_unset_first_is_none() {
+        assert_eq!(pair_span(&R(0, None), &R(1, None)), None);
+    }
+
+    #[test]
+    fn non_contiguous_pair_violates_contract() {
+        with_mode(Mode::Observe, || {
+            let fst = R(0, Some((0x1000, 0x1800)));
+            let snd = R(1, Some((0x2000, 0x2200))); // Gap!
+            let _ = pair_span(&fst, &snd);
+        });
+        assert_eq!(take_violations().len(), 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! The RISC-V granular PMP driver (paper §4.4).
+//!
+//! A `PmpRegion` is a TOR entry pair: entry `2i` supplies the bottom
+//! address, entry `2i + 1` the top plus the permission bits. The PMP "is
+//! far more flexible in terms of region start addresses and sizes" (§3.5),
+//! so `start`/`size` are the full region bounds with no subregion games —
+//! only the chip's granularity `G` constrains them.
+
+use crate::mpu::Mpu;
+use crate::region::{OptPair, Pair, RegionDescriptor};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tt_contracts::math::align_up;
+use tt_contracts::{ensures, requires};
+use tt_hw::cycles::{charge_n, Cost};
+use tt_hw::riscv::pmp::{AddressMode, PMP_R, PMP_W, PMP_X};
+use tt_hw::riscv::RiscvPmp;
+use tt_hw::{Permissions, PtrU8};
+
+/// Encodes logical permissions into pmpcfg R/W/X bits.
+pub fn encode_permissions(perms: Permissions) -> u8 {
+    match perms {
+        Permissions::ReadWriteExecute => PMP_R | PMP_W | PMP_X,
+        Permissions::ReadWriteOnly => PMP_R | PMP_W,
+        Permissions::ReadExecuteOnly => PMP_R | PMP_X,
+        Permissions::ReadOnly => PMP_R,
+        Permissions::ExecuteOnly => PMP_X,
+    }
+}
+
+/// One granular PMP region: a staged TOR entry pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmpRegion {
+    region_id: usize,
+    /// pmpcfg byte of the top entry (permissions + TOR mode), 0 when unset.
+    cfg: u8,
+    /// pmpaddr of the bottom entry (`start >> 2`).
+    addr_lo: u32,
+    /// pmpaddr of the top entry (`end >> 2`).
+    addr_hi: u32,
+}
+
+impl PmpRegion {
+    /// Builds a region covering `[start, end)` with the given permissions.
+    pub fn new(region_id: usize, start: usize, end: usize, perms: Permissions) -> Self {
+        requires!("PmpRegion::new", start < end);
+        requires!(
+            "PmpRegion::new",
+            start.is_multiple_of(4) && end.is_multiple_of(4)
+        );
+        charge_n(Cost::Alu, 4);
+        Self {
+            region_id,
+            cfg: encode_permissions(perms) | (AddressMode::Tor.encode() << 3),
+            addr_lo: (start >> 2) as u32,
+            addr_hi: (end >> 2) as u32,
+        }
+    }
+
+    /// The staged pmpcfg byte for the top entry.
+    pub fn cfg_value(&self) -> u8 {
+        self.cfg
+    }
+
+    /// The staged pmpaddr values (bottom, top).
+    pub fn addr_values(&self) -> (u32, u32) {
+        (self.addr_lo, self.addr_hi)
+    }
+}
+
+impl RegionDescriptor for PmpRegion {
+    fn unset(region_id: usize) -> Self {
+        Self {
+            region_id,
+            cfg: 0,
+            addr_lo: 0,
+            addr_hi: 0,
+        }
+    }
+
+    fn start(&self) -> Option<PtrU8> {
+        self.is_set()
+            .then(|| PtrU8::new((self.addr_lo as usize) << 2))
+    }
+
+    fn size(&self) -> Option<usize> {
+        self.is_set()
+            .then(|| ((self.addr_hi - self.addr_lo) as usize) << 2)
+    }
+
+    fn is_set(&self) -> bool {
+        AddressMode::decode(self.cfg >> 3) == AddressMode::Tor && self.addr_hi > self.addr_lo
+    }
+
+    fn matches_permissions(&self, perms: Permissions) -> bool {
+        self.is_set() && (self.cfg & 0b111) == encode_permissions(perms)
+    }
+
+    fn overlaps(&self, lo: usize, hi: usize) -> bool {
+        match self.accessible_range() {
+            Some((s, e)) => lo < hi && s < hi && lo < e,
+            None => false,
+        }
+    }
+
+    fn region_id(&self) -> usize {
+        self.region_id
+    }
+}
+
+/// The granular PMP driver, parameterized by the chip granularity `G`.
+#[derive(Debug, Clone)]
+pub struct GranularPmp<const G: usize> {
+    hardware: Rc<RefCell<RiscvPmp>>,
+}
+
+/// SiFive E310 instantiation (G = 4).
+pub type GranularPmpE310 = GranularPmp<4>;
+/// ESP32-C3 instantiation (G = 4).
+pub type GranularPmpEsp32C3 = GranularPmp<4>;
+/// Ibex / Earl Grey instantiation (G = 8).
+pub type GranularPmpIbex = GranularPmp<8>;
+
+impl<const G: usize> GranularPmp<G> {
+    /// Creates a driver over the given hardware.
+    pub fn new(hardware: Rc<RefCell<RiscvPmp>>) -> Self {
+        Self { hardware }
+    }
+
+    /// Creates a driver with fresh hardware for the given chip.
+    pub fn with_fresh_hardware(chip: tt_hw::riscv::PmpChip) -> Self {
+        assert_eq!(chip.granularity(), G, "chip granularity mismatch");
+        Self::new(Rc::new(RefCell::new(RiscvPmp::new(chip))))
+    }
+
+    /// Returns the hardware handle.
+    pub fn hardware(&self) -> Rc<RefCell<RiscvPmp>> {
+        Rc::clone(&self.hardware)
+    }
+}
+
+impl<const G: usize> Mpu for GranularPmp<G> {
+    type Region = PmpRegion;
+
+    fn new_regions(
+        max_region_id: usize,
+        unalloc_start: PtrU8,
+        unalloc_size: usize,
+        total_size: usize,
+        permissions: Permissions,
+    ) -> OptPair<PmpRegion> {
+        requires!("GranularPmp::new_regions", (1..8).contains(&max_region_id));
+        if total_size == 0 {
+            return None;
+        }
+        charge_n(Cost::Alu, 5);
+        let start = align_up(unalloc_start.as_usize(), G);
+        // `+1` before rounding keeps the accessible span strictly larger
+        // than the request, preserving `app_break < kernel_break`.
+        let accessible = align_up(total_size + 1, G);
+        let end = start + accessible;
+        ensures!("GranularPmp::new_regions", accessible > total_size);
+        if end > unalloc_start.as_usize() + unalloc_size {
+            return None;
+        }
+        Some(Pair {
+            fst: PmpRegion::new(max_region_id - 1, start, end, permissions),
+            snd: PmpRegion::unset(max_region_id),
+        })
+    }
+
+    fn update_regions(
+        max_region_id: usize,
+        region_start: PtrU8,
+        available_size: usize,
+        total_size: usize,
+        permissions: Permissions,
+    ) -> OptPair<PmpRegion> {
+        requires!(
+            "GranularPmp::update_regions",
+            (1..8).contains(&max_region_id)
+        );
+        charge_n(Cost::Alu, 4);
+        if total_size == 0 || total_size > available_size {
+            return None;
+        }
+        let start = region_start.as_usize();
+        if !start.is_multiple_of(G) {
+            return None;
+        }
+        let accessible = align_up(total_size, G).min(available_size);
+        if accessible < total_size {
+            return None;
+        }
+        ensures!("GranularPmp::update_regions", accessible <= available_size);
+        Some(Pair {
+            fst: PmpRegion::new(max_region_id - 1, start, start + accessible, permissions),
+            snd: PmpRegion::unset(max_region_id),
+        })
+    }
+
+    fn create_exact_region(
+        region_id: usize,
+        start: PtrU8,
+        size: usize,
+        permissions: Permissions,
+    ) -> Option<PmpRegion> {
+        charge_n(Cost::Alu, 3);
+        if size == 0 || !start.as_usize().is_multiple_of(G) || !size.is_multiple_of(G) {
+            return None;
+        }
+        Some(PmpRegion::new(
+            region_id,
+            start.as_usize(),
+            start.as_usize() + size,
+            permissions,
+        ))
+    }
+
+    // TRUSTED: CSR write-out is part of the TCB (§6.1).
+    fn configure_mpu(&self, regions: &[PmpRegion]) {
+        let mut hw = self.hardware.borrow_mut();
+        let entries = hw.chip().entries();
+        for region in regions {
+            let base = region.region_id() * 2;
+            if base + 1 >= entries {
+                // This chip has fewer PMP entries than region slots; unset
+                // slots beyond the hardware are fine, set ones are a
+                // configuration error caught by the allocator's invariant.
+                debug_assert!(
+                    !region.is_set(),
+                    "region {} beyond PMP entries",
+                    region.region_id()
+                );
+                continue;
+            }
+            let (lo, hi) = region.addr_values();
+            hw.write_addr(base, lo);
+            hw.write_cfg(base, 0);
+            hw.write_addr(base + 1, hi);
+            hw.write_cfg(base + 1, region.cfg_value());
+        }
+    }
+
+    fn disable_mpu(&self) {
+        // Kernel execution is M-mode: unlocked PMP entries do not constrain
+        // it, so "disabling" is a no-op, as on real hardware.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::mem::{AccessType, Privilege, ProtectionUnit};
+    use tt_hw::riscv::PmpChip;
+
+    const RAM: usize = 0x8000_0000;
+
+    #[test]
+    fn region_encodes_tor_bounds() {
+        let r = PmpRegion::new(0, RAM, RAM + 0x1000, Permissions::ReadWriteOnly);
+        assert!(r.is_set());
+        assert_eq!(r.start().unwrap().as_usize(), RAM);
+        assert_eq!(r.size().unwrap(), 0x1000);
+        assert!(r.matches_permissions(Permissions::ReadWriteOnly));
+        assert!(!r.matches_permissions(Permissions::ReadExecuteOnly));
+        assert!(r.overlaps(RAM + 0xFFF, RAM + 0x2000));
+        assert!(!r.overlaps(RAM + 0x1000, RAM + 0x2000));
+    }
+
+    #[test]
+    fn unset_region_is_inert() {
+        let r = PmpRegion::unset(3);
+        assert!(!r.is_set());
+        assert_eq!(r.start(), None);
+        assert!(!r.overlaps(0, usize::MAX));
+    }
+
+    #[test]
+    fn new_regions_single_region_with_slack() {
+        let pair = GranularPmpE310::new_regions(
+            1,
+            PtrU8::new(RAM + 2),
+            0x4000,
+            1000,
+            Permissions::ReadWriteOnly,
+        )
+        .unwrap();
+        assert!(pair.fst.is_set());
+        assert!(!pair.snd.is_set());
+        let (start, end) = pair.fst.accessible_range().unwrap();
+        assert_eq!(start % 4, 0);
+        assert!(end - start > 1000);
+        assert!(end - start <= 1008, "PMP slack is at most one granule + 1");
+    }
+
+    #[test]
+    fn ibex_granularity_is_respected() {
+        let pair = GranularPmpIbex::new_regions(
+            1,
+            PtrU8::new(0x1000_0001),
+            0x4000,
+            100,
+            Permissions::ReadWriteOnly,
+        )
+        .unwrap();
+        let (start, end) = pair.fst.accessible_range().unwrap();
+        assert_eq!(start % 8, 0);
+        assert_eq!((end - start) % 8, 0);
+    }
+
+    #[test]
+    fn pool_bounds_enforced() {
+        assert!(GranularPmpE310::new_regions(
+            1,
+            PtrU8::new(RAM),
+            512,
+            1000,
+            Permissions::ReadWriteOnly
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn update_stays_within_available() {
+        let updated = GranularPmpE310::update_regions(
+            1,
+            PtrU8::new(RAM),
+            2048,
+            2000,
+            Permissions::ReadWriteOnly,
+        )
+        .unwrap();
+        let (start, end) = updated.fst.accessible_range().unwrap();
+        assert_eq!(start, RAM);
+        assert!(end - start >= 2000);
+        assert!(end - start <= 2048);
+        assert!(GranularPmpE310::update_regions(
+            1,
+            PtrU8::new(RAM),
+            2048,
+            4096,
+            Permissions::ReadWriteOnly
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn configured_pmp_enforces_span_on_all_chips() {
+        for chip in PmpChip::ALL {
+            let ram = match chip {
+                PmpChip::SifiveE310 => 0x8000_0000usize,
+                PmpChip::Esp32C3 => 0x3FC8_0000,
+                PmpChip::IbexEarlGrey => 0x1000_0000,
+            };
+            let (pair, mpu_regions): (Pair<PmpRegion>, [PmpRegion; 2]) = match chip.granularity() {
+                4 => {
+                    let p = GranularPmp::<4>::new_regions(
+                        1,
+                        PtrU8::new(ram),
+                        0x4000,
+                        1000,
+                        Permissions::ReadWriteOnly,
+                    )
+                    .unwrap();
+                    (p, [p.fst, p.snd])
+                }
+                _ => {
+                    let p = GranularPmp::<8>::new_regions(
+                        1,
+                        PtrU8::new(ram),
+                        0x4000,
+                        1000,
+                        Permissions::ReadWriteOnly,
+                    )
+                    .unwrap();
+                    (p, [p.fst, p.snd])
+                }
+            };
+            let hw = Rc::new(RefCell::new(RiscvPmp::new(chip)));
+            match chip.granularity() {
+                4 => GranularPmp::<4>::new(Rc::clone(&hw)).configure_mpu(&mpu_regions),
+                _ => GranularPmp::<8>::new(Rc::clone(&hw)).configure_mpu(&mpu_regions),
+            }
+            let (start, end) = pair.fst.accessible_range().unwrap();
+            let hw = hw.borrow();
+            assert!(hw
+                .check(start, 4, AccessType::Write, Privilege::Unprivileged)
+                .allowed());
+            assert!(hw
+                .check(end - 4, 4, AccessType::Read, Privilege::Unprivileged)
+                .allowed());
+            assert!(!hw
+                .check(end, 4, AccessType::Write, Privilege::Unprivileged)
+                .allowed());
+            assert!(!hw
+                .check(start - 4, 4, AccessType::Read, Privilege::Unprivileged)
+                .allowed());
+        }
+    }
+
+    #[test]
+    fn exact_region_for_flash() {
+        let r = GranularPmpE310::create_exact_region(
+            2,
+            PtrU8::new(0x2000_0000),
+            0x1000,
+            Permissions::ReadExecuteOnly,
+        )
+        .unwrap();
+        assert!(r.can_access(0x2000_0000, 0x2000_1000, Permissions::ReadExecuteOnly));
+        assert!(GranularPmpE310::create_exact_region(
+            2,
+            PtrU8::new(0x2000_0001),
+            0x1000,
+            Permissions::ReadExecuteOnly
+        )
+        .is_none());
+    }
+}

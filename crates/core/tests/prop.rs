@@ -1,0 +1,211 @@
+//! Property suites on the granular abstraction's core laws (DESIGN.md INV
+//! row): the driver-level RegionDescriptor contracts of §4.1/§4.4 and the
+//! allocator invariants of §4.2/§4.3, over randomized inputs.
+
+use proptest::prelude::*;
+use ticktock::allocator::AppMemoryAllocator;
+use ticktock::cortexm::{CortexMRegion, GranularCortexM};
+use ticktock::mpu::{pair_span, Mpu};
+use ticktock::region::RegionDescriptor;
+use ticktock::riscv::{GranularPmpE310, GranularPmpIbex};
+use tt_hw::{Permissions, PtrU8};
+
+const RAM: usize = 0x2000_0000;
+const FLASH: usize = 0x0004_0000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CortexMRegion: what `new` encodes, the descriptor decodes — the
+    /// §4.4 register-bit correspondence, for every legal geometry.
+    #[test]
+    fn cortexm_region_encode_decode_roundtrip(
+        exp in 8u32..18,
+        base_mult in 0usize..32,
+        k in 1usize..9,
+        perms in prop::sample::select(Permissions::ALL.to_vec()),
+    ) {
+        let size = 1usize << exp;
+        let base = RAM + base_mult * size;
+        let r = CortexMRegion::new(0, base, size, k, perms);
+        prop_assert!(r.is_set());
+        prop_assert_eq!(r.start().map(PtrU8::as_usize), Some(base));
+        prop_assert_eq!(r.size(), Some(k * (size / 8)));
+        prop_assert!(r.matches_permissions(perms));
+        // Permissions are exact: no other logical permission matches,
+        // except encodings that genuinely alias in hardware (RX vs X-only).
+        for other in Permissions::ALL {
+            if other == perms {
+                continue;
+            }
+            let alias = matches!(
+                (perms, other),
+                (Permissions::ReadExecuteOnly, Permissions::ExecuteOnly)
+                    | (Permissions::ExecuteOnly, Permissions::ReadExecuteOnly)
+            );
+            prop_assert_eq!(r.matches_permissions(other), alias, "{:?} vs {:?}", perms, other);
+        }
+        // Overlap agrees with the accessible range.
+        let (s, e) = r.accessible_range().unwrap();
+        prop_assert!(r.overlaps(s, s + 1));
+        prop_assert!(!r.overlaps(e, usize::MAX));
+        prop_assert!(!r.overlaps(0, s));
+    }
+
+    /// new_regions: span strictly exceeds the request, starts aligned
+    /// within the pool, and the pair is contiguous.
+    #[test]
+    fn cortexm_new_regions_postconditions(
+        start_off in 0usize..1024,
+        pool in 0x8000usize..0x4_0000,
+        total in 32usize..12000,
+    ) {
+        let start = RAM + start_off * 4;
+        let Some(pair) = GranularCortexM::new_regions(
+            1,
+            PtrU8::new(start),
+            pool,
+            total,
+            Permissions::ReadWriteOnly,
+        ) else {
+            return Ok(()); // Refusal is always acceptable.
+        };
+        let (lo, hi) = pair_span(&pair.fst, &pair.snd).unwrap();
+        prop_assert!(lo >= start);
+        prop_assert!(hi - lo > total, "span {} for total {}", hi - lo, total);
+        prop_assert!(hi <= start + pool);
+        if pair.snd.is_set() {
+            let (_, fst_end) = pair.fst.accessible_range().unwrap();
+            let (snd_start, _) = pair.snd.accessible_range().unwrap();
+            prop_assert_eq!(fst_end, snd_start, "pair must be contiguous");
+        }
+        prop_assert_eq!(pair.fst.region_id(), 0);
+        prop_assert_eq!(pair.snd.region_id(), 1);
+    }
+
+    /// update_regions: result covers the request and never exceeds the
+    /// available window (the no-grant-exposure precondition).
+    #[test]
+    fn cortexm_update_regions_bounded(
+        available_q in 1usize..64,
+        total_frac in 1usize..100,
+    ) {
+        let available = available_q * 256;
+        let total = (available * total_frac / 100).max(1);
+        let Some(pair) = GranularCortexM::update_regions(
+            1,
+            PtrU8::new(RAM),
+            available,
+            total,
+            Permissions::ReadWriteOnly,
+        ) else {
+            return Ok(());
+        };
+        let (lo, hi) = pair_span(&pair.fst, &pair.snd).unwrap();
+        prop_assert_eq!(lo, RAM);
+        prop_assert!(hi - lo >= total);
+        prop_assert!(hi - lo <= available, "span {} > available {}", hi - lo, available);
+    }
+
+    /// The PMP drivers obey the same laws with granularity-rounded bounds.
+    #[test]
+    fn pmp_new_regions_postconditions(
+        start_off in 0usize..4096,
+        total in 8usize..8000,
+    ) {
+        let e310 = GranularPmpE310::new_regions(
+            1,
+            PtrU8::new(0x8000_0000 + start_off),
+            0x4000,
+            total,
+            Permissions::ReadWriteOnly,
+        );
+        if let Some(pair) = e310 {
+            let (lo, hi) = pair.fst.accessible_range().unwrap();
+            prop_assert_eq!(lo % 4, 0);
+            prop_assert!(hi - lo > total);
+            prop_assert!(hi - lo <= total + 8, "E310 slack bounded by one granule");
+        }
+        let ibex = GranularPmpIbex::new_regions(
+            1,
+            PtrU8::new(0x1000_0000 + start_off),
+            0x8000,
+            total,
+            Permissions::ReadWriteOnly,
+        );
+        if let Some(pair) = ibex {
+            let (lo, hi) = pair.fst.accessible_range().unwrap();
+            prop_assert_eq!(lo % 8, 0);
+            prop_assert_eq!((hi - lo) % 8, 0);
+            prop_assert!(hi - lo > total);
+        }
+    }
+
+    /// Allocation-level disagreement is impossible by construction: the
+    /// breaks equal what the regions decode to, always.
+    #[test]
+    fn allocator_breaks_equal_hardware_truth(
+        start_off in 0usize..512,
+        app in 64usize..6000,
+        kernel in 16usize..2000,
+    ) {
+        let Ok(alloc) = AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
+            PtrU8::new(RAM + start_off * 4),
+            0x4_0000,
+            0,
+            app,
+            kernel,
+            PtrU8::new(FLASH),
+            0x1000,
+        ) else {
+            return Ok(());
+        };
+        let (span_start, span_end) = alloc.accessible_span().unwrap();
+        prop_assert_eq!(span_start, alloc.breaks.memory_start.as_usize());
+        prop_assert_eq!(span_end, alloc.breaks.app_break.as_usize());
+        prop_assert_eq!(
+            alloc.breaks.memory_size,
+            (span_end - span_start) + kernel
+        );
+        prop_assert!(alloc.can_access_flash());
+        prop_assert!(alloc.can_access_ram());
+        prop_assert!(alloc.cannot_access_other());
+    }
+
+    /// Grant allocation monotonically shrinks the gap and never crosses
+    /// the hardware span.
+    #[test]
+    fn grants_never_cross_the_accessible_span(
+        app in 256usize..4000,
+        kernel in 128usize..2048,
+        sizes in prop::collection::vec(1usize..300, 1..10),
+    ) {
+        let Ok(mut alloc) = AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
+            PtrU8::new(RAM),
+            0x4_0000,
+            0,
+            app,
+            kernel,
+            PtrU8::new(FLASH),
+            0x1000,
+        ) else {
+            return Ok(());
+        };
+        let span_end = alloc.accessible_span().unwrap().1;
+        let mut last_kb = alloc.breaks.kernel_break.as_usize();
+        for size in sizes {
+            match alloc.allocate_grant(size) {
+                Ok(ptr) => {
+                    prop_assert!(ptr.as_usize() < last_kb);
+                    prop_assert!(ptr.as_usize() >= span_end);
+                    last_kb = alloc.breaks.kernel_break.as_usize();
+                    prop_assert_eq!(ptr.as_usize(), last_kb);
+                }
+                Err(_) => {
+                    // Exhaustion must leave the invariants intact.
+                    prop_assert!(alloc.cannot_access_other());
+                }
+            }
+        }
+    }
+}

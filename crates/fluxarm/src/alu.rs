@@ -1,0 +1,415 @@
+//! Flag-setting ALU and branch instructions.
+//!
+//! Tock's handlers mostly move data, but the surrounding kernel assembly
+//! (and several release-test stubs) use compares, conditional branches and
+//! logical operations. This module extends FluxArm with the flag-setting
+//! subset: APSR.{N,Z,C,V} semantics per ARMv7-M A7.3, with each
+//! instruction's flag contract checked against the arithmetic definition.
+
+use crate::cpu::{Arm7, Gpr};
+use tt_contracts::ensures;
+
+/// APSR condition flags (PSR bits 31..28).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry.
+    pub c: bool,
+    /// Overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Decodes the flags from a PSR value.
+    pub const fn from_psr(psr: u32) -> Self {
+        Self {
+            n: psr & (1 << 31) != 0,
+            z: psr & (1 << 30) != 0,
+            c: psr & (1 << 29) != 0,
+            v: psr & (1 << 28) != 0,
+        }
+    }
+
+    /// Encodes the flags into the top nibble of a PSR value.
+    pub const fn into_psr(self, psr: u32) -> u32 {
+        (psr & 0x0FFF_FFFF)
+            | ((self.n as u32) << 31)
+            | ((self.z as u32) << 30)
+            | ((self.c as u32) << 29)
+            | ((self.v as u32) << 28)
+    }
+}
+
+/// Condition codes for conditional execution (A7.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Unsigned higher or same (C set).
+    Hs,
+    /// Unsigned lower (C clear).
+    Lo,
+    /// Negative (N set).
+    Mi,
+    /// Positive or zero (N clear).
+    Pl,
+    /// Signed greater than or equal (N == V).
+    Ge,
+    /// Signed less than (N != V).
+    Lt,
+    /// Unsigned higher (C set and Z clear).
+    Hi,
+    /// Unsigned lower or same (C clear or Z set).
+    Ls,
+    /// Always.
+    Al,
+}
+
+impl Cond {
+    /// Evaluates the condition against the flags (A7.3.1 `ConditionPassed`).
+    pub const fn passed(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Hs => f.c,
+            Cond::Lo => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Al => true,
+        }
+    }
+}
+
+/// `AddWithCarry` from the ARM pseudocode (A2.2.1): returns (result,
+/// carry, overflow).
+pub const fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
+    let unsigned = a as u64 + b as u64 + carry_in as u64;
+    let signed = a as i32 as i64 + b as i32 as i64 + carry_in as i64;
+    let result = unsigned as u32;
+    let carry = unsigned >> 32 != 0;
+    let overflow = result as i32 as i64 != signed;
+    (result, carry, overflow)
+}
+
+impl Arm7 {
+    /// Current APSR flags.
+    pub fn flags(&self) -> Flags {
+        Flags::from_psr(self.psr)
+    }
+
+    fn set_flags_nzcv(&mut self, result: u32, c: bool, v: bool) {
+        let f = Flags {
+            n: result & (1 << 31) != 0,
+            z: result == 0,
+            c,
+            v,
+        };
+        self.psr = f.into_psr(self.psr);
+    }
+
+    /// `adds rd, rn, rm` — A7-190: add, setting flags.
+    pub fn adds_reg(&mut self, rd: Gpr, rn: Gpr, rm: Gpr) {
+        let (a, b) = (self.gpr(rn), self.gpr(rm));
+        let (result, c, v) = add_with_carry(a, b, false);
+        self.set_gpr(rd, result);
+        self.set_flags_nzcv(result, c, v);
+        self.trace.push("adds");
+        ensures!("adds_reg", self.gpr(rd) == a.wrapping_add(b));
+        ensures!("adds_reg", self.flags().z == (result == 0));
+    }
+
+    /// `subs rd, rn, rm` — A7-450: subtract, setting flags
+    /// (`AddWithCarry(rn, NOT rm, '1')`).
+    pub fn subs_reg(&mut self, rd: Gpr, rn: Gpr, rm: Gpr) {
+        let (a, b) = (self.gpr(rn), self.gpr(rm));
+        let (result, c, v) = add_with_carry(a, !b, true);
+        self.set_gpr(rd, result);
+        self.set_flags_nzcv(result, c, v);
+        self.trace.push("subs");
+        ensures!("subs_reg", self.gpr(rd) == a.wrapping_sub(b));
+        // ARM carry-out of a subtract means "no borrow".
+        ensures!("subs_reg", self.flags().c == (a >= b));
+    }
+
+    /// `cmp rn, rm` — A7-227: compare (subtract discarding the result).
+    pub fn cmp_reg(&mut self, rn: Gpr, rm: Gpr) {
+        let (a, b) = (self.gpr(rn), self.gpr(rm));
+        let (result, c, v) = add_with_carry(a, !b, true);
+        self.set_flags_nzcv(result, c, v);
+        self.trace.push("cmp");
+        ensures!("cmp_reg", self.flags().z == (a == b));
+        ensures!("cmp_reg", self.flags().c == (a >= b));
+    }
+
+    /// `cmp rn, #imm` — A7-226.
+    pub fn cmp_imm(&mut self, rn: Gpr, imm: u32) {
+        let a = self.gpr(rn);
+        let (result, c, v) = add_with_carry(a, !imm, true);
+        self.set_flags_nzcv(result, c, v);
+        self.trace.push("cmp");
+        ensures!("cmp_imm", self.flags().z == (a == imm));
+    }
+
+    /// `ands rd, rn, rm` — A7-200 (C unchanged in this encoding subset).
+    pub fn ands_reg(&mut self, rd: Gpr, rn: Gpr, rm: Gpr) {
+        let result = self.gpr(rn) & self.gpr(rm);
+        self.set_gpr(rd, result);
+        let f = self.flags();
+        self.set_flags_nzcv(result, f.c, f.v);
+        self.trace.push("ands");
+        ensures!("ands_reg", self.gpr(rd) == self.gpr(rn) & self.gpr(rm));
+    }
+
+    /// `orrs rd, rn, rm` — A7-310.
+    pub fn orrs_reg(&mut self, rd: Gpr, rn: Gpr, rm: Gpr) {
+        let result = self.gpr(rn) | self.gpr(rm);
+        self.set_gpr(rd, result);
+        let f = self.flags();
+        self.set_flags_nzcv(result, f.c, f.v);
+        self.trace.push("orrs");
+    }
+
+    /// `eors rd, rn, rm` — A7-239.
+    pub fn eors_reg(&mut self, rd: Gpr, rn: Gpr, rm: Gpr) {
+        let result = self.gpr(rn) ^ self.gpr(rm);
+        self.set_gpr(rd, result);
+        let f = self.flags();
+        self.set_flags_nzcv(result, f.c, f.v);
+        self.trace.push("eors");
+    }
+
+    /// `mvns rd, rm` — A7-304: bitwise NOT.
+    pub fn mvns_reg(&mut self, rd: Gpr, rm: Gpr) {
+        let result = !self.gpr(rm);
+        self.set_gpr(rd, result);
+        let f = self.flags();
+        self.set_flags_nzcv(result, f.c, f.v);
+        self.trace.push("mvns");
+        ensures!("mvns_reg", self.gpr(rd) == !self.gpr(rm));
+    }
+
+    /// `lsls rd, rm, #shift` — A7-282: logical shift left; C is the last
+    /// bit shifted out.
+    pub fn lsls_imm(&mut self, rd: Gpr, rm: Gpr, shift: u32) {
+        tt_contracts::requires!("lsls_imm", shift < 32);
+        let value = self.gpr(rm);
+        let carry = if shift == 0 {
+            self.flags().c
+        } else {
+            value & (1 << (32 - shift)) != 0
+        };
+        let result = if shift == 0 { value } else { value << shift };
+        self.set_gpr(rd, result);
+        let v = self.flags().v;
+        self.set_flags_nzcv(result, carry, v);
+        self.trace.push("lsls");
+    }
+
+    /// `lsrs rd, rm, #shift` — A7-284: logical shift right.
+    pub fn lsrs_imm(&mut self, rd: Gpr, rm: Gpr, shift: u32) {
+        tt_contracts::requires!("lsrs_imm", (1..=32).contains(&shift));
+        let value = self.gpr(rm);
+        let carry = value & (1 << (shift - 1)) != 0;
+        let result = if shift == 32 { 0 } else { value >> shift };
+        self.set_gpr(rd, result);
+        let v = self.flags().v;
+        self.set_flags_nzcv(result, carry, v);
+        self.trace.push("lsrs");
+    }
+
+    /// `b<cond> target` — A7-205: conditional branch. Returns whether the
+    /// branch was taken.
+    pub fn b_cond(&mut self, cond: Cond, target: u32) -> bool {
+        let taken = cond.passed(self.flags());
+        if taken {
+            self.pc = target & !1;
+        }
+        self.trace.push("b_cond");
+        taken
+    }
+
+    /// `bl target` — A7-207: branch with link (LR = return address).
+    pub fn bl(&mut self, target: u32, return_addr: u32) {
+        self.lr = return_addr | 1; // Thumb bit set in LR, as hardware does.
+        self.pc = target & !1;
+        self.trace.push("bl");
+        ensures!("bl", self.pc == target & !1);
+        ensures!("bl", self.lr == (return_addr | 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::AddrRange;
+
+    fn cpu() -> Arm7 {
+        Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        )
+    }
+
+    #[test]
+    fn add_with_carry_matches_reference_exhaustively() {
+        // Exhaustive over stratified corners x corners x carry.
+        let corners = [
+            0u32,
+            1,
+            2,
+            0x7FFF_FFFE,
+            0x7FFF_FFFF,
+            0x8000_0000,
+            0x8000_0001,
+            0xFFFF_FFFE,
+            0xFFFF_FFFF,
+            0x1234_5678,
+        ];
+        for &a in &corners {
+            for &b in &corners {
+                for cin in [false, true] {
+                    let (r, c, v) = add_with_carry(a, b, cin);
+                    let wide = a as u64 + b as u64 + cin as u64;
+                    assert_eq!(r, wide as u32);
+                    assert_eq!(c, wide > u32::MAX as u64);
+                    let swide = a as i32 as i64 + b as i32 as i64 + cin as i64;
+                    assert_eq!(v, swide != r as i32 as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adds_sets_zero_and_carry() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, u32::MAX);
+        c.set_gpr(Gpr::R1, 1);
+        c.adds_reg(Gpr::R2, Gpr::R0, Gpr::R1);
+        assert_eq!(c.gpr(Gpr::R2), 0);
+        let f = c.flags();
+        assert!(f.z && f.c && !f.n && !f.v);
+    }
+
+    #[test]
+    fn subs_overflow_detection() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, 0x8000_0000); // i32::MIN
+        c.set_gpr(Gpr::R1, 1);
+        c.subs_reg(Gpr::R2, Gpr::R0, Gpr::R1);
+        assert_eq!(c.gpr(Gpr::R2), 0x7FFF_FFFF);
+        assert!(c.flags().v, "signed overflow on MIN - 1");
+        assert!(c.flags().c, "no borrow");
+    }
+
+    #[test]
+    fn cmp_drives_all_unsigned_conditions() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, 5);
+        c.set_gpr(Gpr::R1, 7);
+        c.cmp_reg(Gpr::R0, Gpr::R1); // 5 < 7.
+        let f = c.flags();
+        assert!(Cond::Lo.passed(f));
+        assert!(Cond::Ne.passed(f));
+        assert!(Cond::Lt.passed(f));
+        assert!(!Cond::Hs.passed(f));
+        assert!(!Cond::Eq.passed(f));
+        assert!(Cond::Ls.passed(f));
+        assert!(!Cond::Hi.passed(f));
+        c.cmp_reg(Gpr::R1, Gpr::R0); // 7 > 5.
+        let f = c.flags();
+        assert!(Cond::Hi.passed(f));
+        assert!(Cond::Ge.passed(f));
+        c.cmp_reg(Gpr::R0, Gpr::R0); // Equal.
+        let f = c.flags();
+        assert!(Cond::Eq.passed(f) && Cond::Hs.passed(f) && Cond::Ge.passed(f));
+        assert!(Cond::Al.passed(f));
+    }
+
+    #[test]
+    fn signed_conditions_across_sign_boundary() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, (-3i32) as u32);
+        c.set_gpr(Gpr::R1, 2);
+        c.cmp_reg(Gpr::R0, Gpr::R1); // -3 < 2 signed, but unsigned-higher.
+        let f = c.flags();
+        assert!(Cond::Lt.passed(f), "signed less-than");
+        assert!(Cond::Hs.passed(f), "unsigned higher-or-same");
+        assert!(Cond::Mi.passed(f));
+    }
+
+    #[test]
+    fn logical_ops_set_nz_only() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, 0xFF00_0000);
+        c.set_gpr(Gpr::R1, 0x0F00_0000);
+        c.ands_reg(Gpr::R2, Gpr::R0, Gpr::R1);
+        assert_eq!(c.gpr(Gpr::R2), 0x0F00_0000);
+        assert!(!c.flags().n && !c.flags().z);
+        c.eors_reg(Gpr::R3, Gpr::R1, Gpr::R1);
+        assert!(c.flags().z);
+        c.orrs_reg(Gpr::R4, Gpr::R0, Gpr::R1);
+        assert!(c.flags().n);
+        c.mvns_reg(Gpr::R5, Gpr::R4);
+        assert_eq!(c.gpr(Gpr::R5), !0xFF00_0000u32);
+    }
+
+    #[test]
+    fn shifts_produce_correct_carry_out() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, 0x8000_0001);
+        c.lsls_imm(Gpr::R1, Gpr::R0, 1);
+        assert_eq!(c.gpr(Gpr::R1), 2);
+        assert!(c.flags().c, "top bit shifted out");
+        c.set_gpr(Gpr::R2, 0b11);
+        c.lsrs_imm(Gpr::R3, Gpr::R2, 1);
+        assert_eq!(c.gpr(Gpr::R3), 1);
+        assert!(c.flags().c, "bottom bit shifted out");
+        c.lsrs_imm(Gpr::R4, Gpr::R2, 32);
+        assert_eq!(c.gpr(Gpr::R4), 0);
+    }
+
+    #[test]
+    fn conditional_branch_taken_and_not() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, 1);
+        c.set_gpr(Gpr::R1, 1);
+        c.cmp_reg(Gpr::R0, Gpr::R1);
+        let pc0 = c.pc;
+        assert!(!c.b_cond(Cond::Ne, 0x9000));
+        assert_eq!(c.pc, pc0, "untaken branch leaves pc");
+        assert!(c.b_cond(Cond::Eq, 0x9001));
+        assert_eq!(c.pc, 0x9000, "taken branch clears thumb bit");
+    }
+
+    #[test]
+    fn bl_links_return_address() {
+        let mut c = cpu();
+        c.bl(0x0000_8000, 0x0000_0124);
+        assert_eq!(c.pc, 0x8000);
+        assert_eq!(c.lr, 0x125);
+    }
+
+    #[test]
+    fn flags_roundtrip_through_psr() {
+        for bits in 0..16u32 {
+            let f = Flags {
+                n: bits & 8 != 0,
+                z: bits & 4 != 0,
+                c: bits & 2 != 0,
+                v: bits & 1 != 0,
+            };
+            let psr = f.into_psr(0x0000_01FF);
+            assert_eq!(Flags::from_psr(psr), f);
+            assert_eq!(psr & 0x0FFF_FFFF, 0x0000_01FF, "IPSR preserved");
+        }
+    }
+}

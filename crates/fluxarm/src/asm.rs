@@ -1,0 +1,234 @@
+//! Instructions as data: a reified ARMv7-M subset and a program runner.
+//!
+//! The paper models each handler as "a short sequence of assembly
+//! instructions represented by the corresponding sequence of FluxArm
+//! method calls" (Fig. 8). This module adds the missing half of the lifted
+//! ASL story: an [`Insn`] value per instruction, an [`Arm7::execute`] step
+//! function mapping each value to its semantics, and [`Program`]s — so the
+//! verified handlers can also be written down as data, compared, printed,
+//! and executed. The §2.2 missed-mode-switch bug becomes literally *a
+//! missing line in a program listing*.
+
+use crate::cpu::{Arm7, Gpr, SpecialRegister};
+use crate::exceptions::EXC_RETURN_THREAD_MSP;
+use crate::insns::IsbOpt;
+
+/// One reified instruction of the modelled subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `movw rd, #imm16`.
+    MovwImm(Gpr, u16),
+    /// `movt rd, #imm16`.
+    MovtImm(Gpr, u16),
+    /// `mov rd, rm`.
+    MovReg(Gpr, Gpr),
+    /// `msr special, rn`.
+    Msr(SpecialRegister, Gpr),
+    /// `mrs rd, special`.
+    Mrs(Gpr, SpecialRegister),
+    /// `isb sy`.
+    Isb,
+    /// `dsb`.
+    Dsb,
+    /// `ldr rt, [rn, #imm]`.
+    LdrImm(Gpr, Gpr, u32),
+    /// `str rt, [rn, #imm]`.
+    StrImm(Gpr, Gpr, u32),
+    /// `push {r4-r11}` (the kernel-save register list).
+    PushCalleeSaved,
+    /// `pop {r4-r11}`.
+    PopCalleeSaved,
+    /// `add rd, rn, #imm`.
+    AddImm(Gpr, Gpr, u32),
+    /// `sub rd, rn, #imm`.
+    SubImm(Gpr, Gpr, u32),
+    /// `cpsid i`.
+    CpsidI,
+    /// `cpsie i`.
+    CpsieI,
+    /// Pseudo: load an EXC_RETURN constant into LR.
+    LdrLrExcReturn(u32),
+}
+
+impl Arm7 {
+    /// Executes one reified instruction — the dispatch table tying each
+    /// [`Insn`] value to its operational semantics.
+    pub fn execute(&mut self, insn: Insn) {
+        match insn {
+            Insn::MovwImm(rd, imm) => self.movw_imm(rd, imm as u32),
+            Insn::MovtImm(rd, imm) => self.movt_imm(rd, imm as u32),
+            Insn::MovReg(rd, rm) => self.mov_reg(rd, rm),
+            Insn::Msr(sr, rn) => self.msr(sr, rn),
+            Insn::Mrs(rd, sr) => self.mrs(rd, sr),
+            Insn::Isb => self.isb(Some(IsbOpt::Sys)),
+            Insn::Dsb => self.dsb(),
+            Insn::LdrImm(rt, rn, imm) => self.ldr_imm(rt, rn, imm),
+            Insn::StrImm(rt, rn, imm) => self.str_imm(rt, rn, imm),
+            Insn::PushCalleeSaved => self.push(&Gpr::CALLEE_SAVED),
+            Insn::PopCalleeSaved => self.pop(&Gpr::CALLEE_SAVED),
+            Insn::AddImm(rd, rn, imm) => self.add_imm(rd, rn, imm),
+            Insn::SubImm(rd, rn, imm) => self.sub_imm(rd, rn, imm),
+            Insn::CpsidI => self.cpsid_i(),
+            Insn::CpsieI => self.cpsie_i(),
+            Insn::LdrLrExcReturn(v) => self.pseudo_ldr_special(SpecialRegister::lr(), v),
+        }
+    }
+
+    /// Executes a whole program in order.
+    pub fn run_program(&mut self, program: &Program) {
+        for insn in &program.insns {
+            self.execute(*insn);
+        }
+    }
+}
+
+/// A named straight-line instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Listing name (e.g. `"sys_tick_isr"`).
+    pub name: &'static str,
+    /// The instructions, in order.
+    pub insns: Vec<Insn>,
+}
+
+impl Program {
+    /// The verified SysTick handler body as a listing (paper Fig. 8 left).
+    pub fn sys_tick_isr() -> Self {
+        Self {
+            name: "sys_tick_isr",
+            insns: vec![
+                Insn::MovwImm(Gpr::R0, 0),
+                Insn::Msr(SpecialRegister::Control, Gpr::R0),
+                Insn::Isb,
+                Insn::LdrLrExcReturn(EXC_RETURN_THREAD_MSP),
+            ],
+        }
+    }
+
+    /// The buggy historical SysTick handler: the same listing with the
+    /// CONTROL write (and its barrier) missing — tock#4246 as a diff.
+    pub fn sys_tick_isr_buggy() -> Self {
+        Self {
+            name: "sys_tick_isr_buggy",
+            insns: vec![Insn::LdrLrExcReturn(EXC_RETURN_THREAD_MSP)],
+        }
+    }
+
+    /// Renders the listing as assembly-ish text.
+    pub fn listing(&self) -> String {
+        let mut out = format!("{}:\n", self.name);
+        for insn in &self.insns {
+            out.push_str(&format!("    {insn:?}\n"));
+        }
+        out
+    }
+
+    /// The instructions present in `other` but missing here (order-
+    /// preserving diff used to display what a buggy listing dropped).
+    pub fn missing_from(&self, other: &Program) -> Vec<Insn> {
+        let mut mine = self.insns.iter().peekable();
+        let mut missing = Vec::new();
+        for insn in &other.insns {
+            if mine.peek() == Some(&insn) {
+                mine.next();
+            } else {
+                missing.push(*insn);
+            }
+        }
+        missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Control;
+    use crate::exceptions::ExceptionNumber;
+    use tt_hw::AddrRange;
+
+    fn cpu() -> Arm7 {
+        Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        )
+    }
+
+    #[test]
+    fn reified_systick_program_equals_method_version() {
+        // Run the listing and the hand-written handler on identical
+        // preempted states; final CPU states must agree exactly.
+        let mk = || {
+            let mut c = cpu();
+            c.control = Control(0b11);
+            c.psp = 0x2000_2800;
+            c.exception_entry(ExceptionNumber::SysTick);
+            c
+        };
+        let mut via_program = mk();
+        via_program.run_program(&Program::sys_tick_isr());
+        let mut via_methods = mk();
+        let ret = crate::handlers::sys_tick_isr(&mut via_methods);
+        assert_eq!(via_program.lr, ret);
+        assert_eq!(via_program.control, via_methods.control);
+        assert_eq!(via_program.regs, via_methods.regs);
+        assert_eq!(via_program.psr, via_methods.psr);
+        assert_eq!(via_program.trace, via_methods.trace);
+    }
+
+    #[test]
+    fn buggy_listing_is_exactly_the_missing_mode_switch() {
+        let good = Program::sys_tick_isr();
+        let bad = Program::sys_tick_isr_buggy();
+        let missing = bad.missing_from(&good);
+        assert_eq!(
+            missing,
+            vec![
+                Insn::MovwImm(Gpr::R0, 0),
+                Insn::Msr(SpecialRegister::Control, Gpr::R0),
+                Insn::Isb,
+            ],
+            "the bug is precisely the dropped CONTROL sequence"
+        );
+    }
+
+    #[test]
+    fn every_insn_variant_executes() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R1, 0x2000_2000);
+        let program = Program {
+            name: "smoke",
+            insns: vec![
+                Insn::MovwImm(Gpr::R0, 0xBEEF),
+                Insn::MovtImm(Gpr::R0, 0xDEAD),
+                Insn::MovReg(Gpr::R2, Gpr::R0),
+                Insn::StrImm(Gpr::R2, Gpr::R1, 0),
+                Insn::LdrImm(Gpr::R3, Gpr::R1, 0),
+                Insn::AddImm(Gpr::R4, Gpr::R3, 4),
+                Insn::SubImm(Gpr::R5, Gpr::R4, 8),
+                Insn::PushCalleeSaved,
+                Insn::PopCalleeSaved,
+                Insn::Mrs(Gpr::R6, SpecialRegister::Msp),
+                Insn::Msr(SpecialRegister::Psp, Gpr::R1),
+                Insn::CpsidI,
+                Insn::CpsieI,
+                Insn::Dsb,
+                Insn::Isb,
+                Insn::LdrLrExcReturn(EXC_RETURN_THREAD_MSP),
+            ],
+        };
+        c.run_program(&program);
+        assert_eq!(c.gpr(Gpr::R3), 0xDEAD_BEEF);
+        assert_eq!(c.gpr(Gpr::R5), 0xDEAD_BEEF - 4);
+        assert_eq!(c.psp, 0x2000_2000);
+        assert_eq!(c.lr, EXC_RETURN_THREAD_MSP);
+        assert_eq!(c.gpr(Gpr::R6), c.msp);
+    }
+
+    #[test]
+    fn listing_renders_readably() {
+        let text = Program::sys_tick_isr().listing();
+        assert!(text.starts_with("sys_tick_isr:"));
+        assert!(text.contains("Msr(Control, R0)"));
+        assert!(text.contains("LdrLrExcReturn"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Exception entry and return semantics (ARMv7-M B1.5.6 / B1.5.8).
+//!
+//! This models how the hardware behaves "when exceptions occur by saving
+//! the caller-saved registers on the stack, using the exception number to
+//! decide which isr to call, and then … restoring the caller-saved registers
+//! off the stack before yielding control back to the specified target"
+//! (paper §4.5, `preempt`).
+
+use crate::cpu::{Arm7, Control, CpuMode, Gpr};
+use tt_contracts::{ensures, requires};
+
+/// EXC_RETURN: return to handler mode, frame on MSP.
+pub const EXC_RETURN_HANDLER: u32 = 0xFFFF_FFF1;
+/// EXC_RETURN: return to thread mode, frame on MSP.
+pub const EXC_RETURN_THREAD_MSP: u32 = 0xFFFF_FFF9;
+/// EXC_RETURN: return to thread mode, frame on PSP.
+pub const EXC_RETURN_THREAD_PSP: u32 = 0xFFFF_FFFD;
+
+/// Architecturally defined exception numbers used by Tock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExceptionNumber {
+    /// Supervisor call (syscall entry): 11.
+    SvCall,
+    /// PendSV (context-switch request): 14.
+    PendSv,
+    /// SysTick (timer preemption): 15.
+    SysTick,
+    /// External interrupt n: 16 + n.
+    Irq(u8),
+}
+
+impl ExceptionNumber {
+    /// The IPSR value for the exception.
+    pub const fn number(self) -> u32 {
+        match self {
+            ExceptionNumber::SvCall => 11,
+            ExceptionNumber::PendSv => 14,
+            ExceptionNumber::SysTick => 15,
+            ExceptionNumber::Irq(n) => 16 + n as u32,
+        }
+    }
+}
+
+/// The eight-word hardware-stacked exception frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExceptionFrame {
+    /// Stacked r0–r3 and r12.
+    pub r0: u32,
+    /// r1.
+    pub r1: u32,
+    /// r2.
+    pub r2: u32,
+    /// r3.
+    pub r3: u32,
+    /// r12.
+    pub r12: u32,
+    /// Stacked link register.
+    pub lr: u32,
+    /// Return address (pc at preemption).
+    pub pc: u32,
+    /// Stacked program status register.
+    pub psr: u32,
+}
+
+/// Size in bytes of the stacked frame.
+pub const FRAME_BYTES: u32 = 32;
+
+impl Arm7 {
+    /// Hardware exception entry (B1.5.6 `PushStack` + `ExceptionTaken`).
+    ///
+    /// Pushes the caller-saved frame onto the *currently active* stack,
+    /// switches to handler mode (privileged, MSP), records the exception
+    /// number in IPSR, and leaves the EXC_RETURN value in LR.
+    pub fn exception_entry(&mut self, exception: ExceptionNumber) {
+        let frame_ptr = self.active_sp().wrapping_sub(FRAME_BYTES);
+        requires!("exception_entry", self.is_valid_sp_addr(frame_ptr));
+        let was_thread = self.mode == CpuMode::Thread;
+        let used_psp = was_thread && self.control.spsel();
+
+        // PushStack: lowest register at lowest address.
+        let words = [
+            self.gpr(Gpr::R0),
+            self.gpr(Gpr::R1),
+            self.gpr(Gpr::R2),
+            self.gpr(Gpr::R3),
+            self.gpr(Gpr::R12),
+            self.lr,
+            self.pc,
+            self.psr,
+        ];
+        for (i, w) in words.iter().enumerate() {
+            self.mem.write(frame_ptr.wrapping_add(4 * i as u32), *w);
+        }
+        self.set_active_sp(frame_ptr);
+
+        // ExceptionTaken: handler mode, MSP, IPSR = exception number.
+        self.mode = CpuMode::Handler;
+        self.psr = (self.psr & !0x1FF) | exception.number();
+        self.lr = if !was_thread {
+            EXC_RETURN_HANDLER
+        } else if used_psp {
+            EXC_RETURN_THREAD_PSP
+        } else {
+            EXC_RETURN_THREAD_MSP
+        };
+        self.trace.push("exception_entry");
+        ensures!("exception_entry", self.mode_is_handler());
+        ensures!("exception_entry", self.ipsr() == exception.number());
+        ensures!("exception_entry", self.is_privileged());
+    }
+
+    /// Hardware exception return (B1.5.8 `ExceptionReturn` + `PopStack`),
+    /// triggered by `bx` with an EXC_RETURN value in the handler.
+    ///
+    /// Restores the caller-saved frame from the stack the EXC_RETURN selects
+    /// and switches mode/SPSEL accordingly. Crucially, **nPRIV is not
+    /// modified**: if the handler did not explicitly reset CONTROL, the
+    /// thread resumes with whatever privilege the *process* had — the root
+    /// cause of the paper's interrupt-assembly bug (§2.2).
+    pub fn exception_return(&mut self, exc_return: u32) {
+        requires!("exception_return", self.mode_is_handler());
+        requires!(
+            "exception_return",
+            exc_return == EXC_RETURN_HANDLER
+                || exc_return == EXC_RETURN_THREAD_MSP
+                || exc_return == EXC_RETURN_THREAD_PSP
+        );
+        let (mode, spsel) = match exc_return {
+            EXC_RETURN_HANDLER => (CpuMode::Handler, false),
+            EXC_RETURN_THREAD_MSP => (CpuMode::Thread, false),
+            _ => (CpuMode::Thread, true),
+        };
+        let frame_ptr = if exc_return == EXC_RETURN_THREAD_PSP {
+            self.psp
+        } else {
+            self.msp
+        };
+        requires!(
+            "exception_return",
+            self.is_valid_sp_addr(frame_ptr.wrapping_add(FRAME_BYTES))
+        );
+
+        // PopStack.
+        let read = |cpu: &Arm7, i: u32| cpu.mem.read(frame_ptr.wrapping_add(4 * i));
+        let frame = ExceptionFrame {
+            r0: read(self, 0),
+            r1: read(self, 1),
+            r2: read(self, 2),
+            r3: read(self, 3),
+            r12: read(self, 4),
+            lr: read(self, 5),
+            pc: read(self, 6),
+            psr: read(self, 7),
+        };
+        self.set_gpr(Gpr::R0, frame.r0);
+        self.set_gpr(Gpr::R1, frame.r1);
+        self.set_gpr(Gpr::R2, frame.r2);
+        self.set_gpr(Gpr::R3, frame.r3);
+        self.set_gpr(Gpr::R12, frame.r12);
+        self.lr = frame.lr;
+        self.pc = frame.pc;
+
+        let new_sp = frame_ptr.wrapping_add(FRAME_BYTES);
+        if exc_return == EXC_RETURN_THREAD_PSP {
+            self.psp = new_sp;
+        } else {
+            self.msp = new_sp;
+        }
+
+        // Mode and stack selection; IPSR restored from the frame. nPRIV is
+        // deliberately untouched (B1.5.8).
+        self.mode = mode;
+        self.control = Control((self.control.0 & 0b01) | if spsel { 0b10 } else { 0b00 });
+        self.psr = frame.psr;
+        self.trace.push("exception_return");
+        ensures!(
+            "exception_return",
+            (exc_return == EXC_RETURN_HANDLER) == self.mode_is_handler()
+        );
+    }
+
+    /// Reads the exception frame currently at the top of the given stack
+    /// pointer, without popping (inspection helper for handlers and tests).
+    pub fn peek_frame(&self, frame_ptr: u32) -> ExceptionFrame {
+        ExceptionFrame {
+            r0: self.mem.read(frame_ptr),
+            r1: self.mem.read(frame_ptr + 4),
+            r2: self.mem.read(frame_ptr + 8),
+            r3: self.mem.read(frame_ptr + 12),
+            r12: self.mem.read(frame_ptr + 16),
+            lr: self.mem.read(frame_ptr + 20),
+            pc: self.mem.read(frame_ptr + 24),
+            psr: self.mem.read(frame_ptr + 28),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::{take_violations, with_mode, Mode};
+    use tt_hw::AddrRange;
+
+    fn cpu() -> Arm7 {
+        Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        )
+    }
+
+    #[test]
+    fn exception_numbers() {
+        assert_eq!(ExceptionNumber::SvCall.number(), 11);
+        assert_eq!(ExceptionNumber::PendSv.number(), 14);
+        assert_eq!(ExceptionNumber::SysTick.number(), 15);
+        assert_eq!(ExceptionNumber::Irq(3).number(), 19);
+    }
+
+    #[test]
+    fn entry_from_privileged_thread_msp() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R0, 0xAA);
+        c.pc = 0x100;
+        c.psr = 0x0100_0000;
+        let old_msp = c.msp;
+        c.exception_entry(ExceptionNumber::SysTick);
+        assert!(c.mode_is_handler());
+        assert_eq!(c.ipsr(), 15);
+        assert_eq!(c.lr, EXC_RETURN_THREAD_MSP);
+        assert_eq!(c.msp, old_msp - 32);
+        let frame = c.peek_frame(c.msp);
+        assert_eq!(frame.r0, 0xAA);
+        assert_eq!(frame.pc, 0x100);
+        assert_eq!(frame.psr, 0x0100_0000);
+    }
+
+    #[test]
+    fn entry_from_unprivileged_thread_psp() {
+        let mut c = cpu();
+        c.control = Control(0b11); // Unprivileged, PSP.
+        c.psp = 0x2000_2800;
+        let old_msp = c.msp;
+        c.exception_entry(ExceptionNumber::SysTick);
+        assert_eq!(c.lr, EXC_RETURN_THREAD_PSP);
+        assert_eq!(c.psp, 0x2000_2800 - 32); // Frame went to PSP.
+        assert_eq!(c.msp, old_msp); // MSP untouched.
+        assert!(c.is_privileged(), "handler mode is privileged");
+        assert!(c.control.npriv(), "nPRIV unchanged by entry");
+    }
+
+    #[test]
+    fn nested_entry_returns_handler_exc_return() {
+        let mut c = cpu();
+        c.exception_entry(ExceptionNumber::SysTick);
+        c.exception_entry(ExceptionNumber::Irq(0));
+        assert_eq!(c.lr, EXC_RETURN_HANDLER);
+        assert_eq!(c.ipsr(), 16);
+    }
+
+    #[test]
+    fn entry_return_roundtrip_preserves_frame_registers() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R1, 0x11);
+        c.set_gpr(Gpr::R3, 0x33);
+        c.set_gpr(Gpr::R12, 0xCC);
+        c.pc = 0x2244;
+        c.lr = 0x99;
+        c.psr = 0x2100_0000;
+        c.exception_entry(ExceptionNumber::PendSv);
+        // Handler clobbers caller-saved registers.
+        c.set_gpr(Gpr::R1, 0);
+        c.set_gpr(Gpr::R3, 0);
+        let exc = c.lr;
+        c.exception_return(exc);
+        assert_eq!(c.gpr(Gpr::R1), 0x11);
+        assert_eq!(c.gpr(Gpr::R3), 0x33);
+        assert_eq!(c.gpr(Gpr::R12), 0xCC);
+        assert_eq!(c.pc, 0x2244);
+        assert_eq!(c.lr, 0x99);
+        assert_eq!(c.psr, 0x2100_0000);
+        assert!(c.mode_is_thread_privileged());
+    }
+
+    #[test]
+    fn return_to_psp_selects_process_stack() {
+        let mut c = cpu();
+        c.control = Control(0b11);
+        c.psp = 0x2000_2800;
+        c.exception_entry(ExceptionNumber::SysTick);
+        c.exception_return(EXC_RETURN_THREAD_PSP);
+        assert_eq!(c.psp, 0x2000_2800);
+        assert!(c.control.spsel());
+        assert!(
+            c.control.npriv(),
+            "exception return must not elevate privilege"
+        );
+        assert!(!c.is_privileged());
+    }
+
+    #[test]
+    fn return_to_msp_clears_spsel_but_not_npriv() {
+        let mut c = cpu();
+        c.control = Control(0b11);
+        c.psp = 0x2000_2800;
+        c.exception_entry(ExceptionNumber::SysTick);
+        // A handler that returns to thread/MSP without fixing CONTROL:
+        // the thread now runs on MSP but STILL UNPRIVILEGED — this is the
+        // paper's missed-mode-switch hazard made concrete.
+        c.exception_return(EXC_RETURN_THREAD_MSP);
+        assert!(!c.control.spsel());
+        assert!(c.control.npriv());
+        assert!(!c.is_privileged());
+    }
+
+    #[test]
+    fn return_requires_handler_mode() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.exception_return(EXC_RETURN_THREAD_MSP);
+        });
+        assert!(!take_violations().is_empty());
+    }
+
+    #[test]
+    fn return_rejects_garbage_exc_return() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.exception_entry(ExceptionNumber::SysTick);
+            c.exception_return(0xFFFF_FF00);
+        });
+        assert!(take_violations()
+            .iter()
+            .any(|v| v.site == "exception_return"));
+    }
+
+    #[test]
+    fn entry_with_overflowing_stack_is_rejected() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.msp = c.kernel_stack.start as u32 + 16; // Not enough for a frame.
+            c.exception_entry(ExceptionNumber::SysTick);
+        });
+        assert!(take_violations()
+            .iter()
+            .any(|v| v.site == "exception_entry"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Tock's top-half interrupt handlers, modelled in FluxArm (paper Fig. 8).
+//!
+//! Each handler is "a short sequence of assembly instructions represented by
+//! the corresponding sequence of FluxArm method calls". Alongside the
+//! verified handlers, this module keeps the **buggy historical variants**
+//! the paper found (§2.2): handlers that omit the CONTROL-register mode
+//! switch, leaving the CPU in the wrong privilege after a context switch.
+
+use crate::cpu::{Arm7, Gpr, SpecialRegister};
+use crate::exceptions::{EXC_RETURN_THREAD_MSP, EXC_RETURN_THREAD_PSP};
+use crate::insns::IsbOpt;
+use tt_contracts::{ensures, requires};
+
+/// A top-half handler: runs in handler mode, returns the EXC_RETURN value
+/// the wrapper assembly feeds to `bx lr`.
+pub type IsrFn = fn(&mut Arm7) -> u32;
+
+/// The verified SysTick handler (paper Fig. 8, left).
+///
+/// Fires while a *process* runs; must return control to the **kernel** in
+/// privileged thread mode on MSP. The `msr CONTROL, r0` with `r0 = 0` is
+/// the critical mode switch: exception return does not touch nPRIV, so
+/// without it the kernel would resume with the process's privilege level.
+pub fn sys_tick_isr(cpu: &mut Arm7) -> u32 {
+    requires!("sys_tick_isr", cpu.mode_is_handler());
+    let lr = SpecialRegister::lr();
+    cpu.movw_imm(Gpr::R0, 0);
+    cpu.msr(SpecialRegister::Control, Gpr::R0);
+    cpu.isb(Some(IsbOpt::Sys));
+    cpu.pseudo_ldr_special(lr, EXC_RETURN_THREAD_MSP);
+    let ret = cpu.get_value_from_special_reg(lr);
+    ensures!("sys_tick_isr", ret == EXC_RETURN_THREAD_MSP);
+    ensures!("sys_tick_isr", !cpu.control.npriv());
+    ret
+}
+
+/// The **buggy** SysTick handler: the historical Tock bug (tock#4246,
+/// §2.2 "Interrupt Assembly Missed Mode Switch") — the CONTROL write is
+/// missing, so nPRIV keeps the preempted process's value and the kernel
+/// resumes unprivileged.
+///
+/// The `ensures!` postcondition that the verified handler discharges is
+/// *absent* here; the violation surfaces at the whole-control-flow check
+/// (`cpu_state_correct`), exactly as Flux reported it.
+pub fn sys_tick_isr_buggy(cpu: &mut Arm7) -> u32 {
+    requires!("sys_tick_isr_buggy", cpu.mode_is_handler());
+    let lr = SpecialRegister::lr();
+    // BUG: `movw r0, #0; msr CONTROL, r0; isb` omitted.
+    cpu.pseudo_ldr_special(lr, EXC_RETURN_THREAD_MSP);
+    cpu.get_value_from_special_reg(lr)
+}
+
+/// The verified SVC handler, kernel→process direction.
+///
+/// Tock's `switch_to_user` executes `svc` from the kernel; this handler
+/// marks the thread unprivileged (`CONTROL.nPRIV = 1`) and returns with
+/// `EXC_RETURN_THREAD_PSP` so the hardware pops the *process* frame from
+/// PSP and resumes user code unprivileged.
+pub fn svc_handler_to_process(cpu: &mut Arm7) -> u32 {
+    requires!("svc_handler_to_process", cpu.mode_is_handler());
+    let lr = SpecialRegister::lr();
+    cpu.movw_imm(Gpr::R0, 1);
+    cpu.msr(SpecialRegister::Control, Gpr::R0);
+    cpu.isb(Some(IsbOpt::Sys));
+    cpu.pseudo_ldr_special(lr, EXC_RETURN_THREAD_PSP);
+    let ret = cpu.get_value_from_special_reg(lr);
+    ensures!("svc_handler_to_process", ret == EXC_RETURN_THREAD_PSP);
+    ensures!("svc_handler_to_process", cpu.control.npriv());
+    ret
+}
+
+/// The **buggy** SVC handler: omits setting `CONTROL.nPRIV`, so the
+/// hardware pops the process frame and starts executing *process code in
+/// privileged mode*, letting it bypass the MPU entirely — the paper's
+/// §2.2 scenario "Tock jump\[s\] into process code while still in privileged
+/// execution mode".
+pub fn svc_handler_to_process_buggy(cpu: &mut Arm7) -> u32 {
+    requires!("svc_handler_to_process_buggy", cpu.mode_is_handler());
+    let lr = SpecialRegister::lr();
+    // BUG: `movw r0, #1; msr CONTROL, r0; isb` omitted.
+    cpu.pseudo_ldr_special(lr, EXC_RETURN_THREAD_PSP);
+    cpu.get_value_from_special_reg(lr)
+}
+
+/// The verified SVC handler, process→kernel direction (a syscall): resets
+/// the thread to privileged and returns to the kernel frame on MSP.
+pub fn svc_handler_to_kernel(cpu: &mut Arm7) -> u32 {
+    requires!("svc_handler_to_kernel", cpu.mode_is_handler());
+    let lr = SpecialRegister::lr();
+    cpu.movw_imm(Gpr::R0, 0);
+    cpu.msr(SpecialRegister::Control, Gpr::R0);
+    cpu.isb(Some(IsbOpt::Sys));
+    cpu.pseudo_ldr_special(lr, EXC_RETURN_THREAD_MSP);
+    let ret = cpu.get_value_from_special_reg(lr);
+    ensures!("svc_handler_to_kernel", ret == EXC_RETURN_THREAD_MSP);
+    ensures!("svc_handler_to_kernel", !cpu.control.npriv());
+    ret
+}
+
+/// A generic external-interrupt handler: services the device (modelled as a
+/// trace event) and resumes the kernel like SysTick does.
+pub fn generic_isr(cpu: &mut Arm7) -> u32 {
+    requires!("generic_isr", cpu.mode_is_handler());
+    cpu.trace.push("device_service");
+    sys_tick_isr(cpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Control;
+    use crate::exceptions::ExceptionNumber;
+    use tt_contracts::{take_violations, with_mode, Mode};
+    use tt_hw::AddrRange;
+
+    fn preempted_cpu() -> Arm7 {
+        let mut c = Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        );
+        // Simulate a process being preempted: unprivileged thread on PSP.
+        c.control = Control(0b11);
+        c.psp = 0x2000_2800;
+        c.exception_entry(ExceptionNumber::SysTick);
+        c
+    }
+
+    #[test]
+    fn verified_systick_resets_privilege() {
+        let mut c = preempted_cpu();
+        assert!(c.control.npriv());
+        let ret = sys_tick_isr(&mut c);
+        assert_eq!(ret, EXC_RETURN_THREAD_MSP);
+        assert!(!c.control.npriv(), "CONTROL cleared by the handler");
+        // Handler shape includes the barrier after the CONTROL write.
+        let msr_pos = c.trace.iter().position(|t| *t == "msr").unwrap();
+        let isb_pos = c.trace.iter().position(|t| *t == "isb").unwrap();
+        assert!(isb_pos > msr_pos);
+    }
+
+    #[test]
+    fn buggy_systick_leaves_process_privilege() {
+        let mut c = preempted_cpu();
+        let ret = sys_tick_isr_buggy(&mut c);
+        assert_eq!(ret, EXC_RETURN_THREAD_MSP);
+        assert!(
+            c.control.npriv(),
+            "bug: nPRIV still set from the preempted process"
+        );
+        // After the return the kernel thread would be unprivileged.
+        c.msp = 0x2000_0800; // A kernel frame exists in this model's memory.
+        c.exception_return(ret);
+        assert!(!c.is_privileged(), "kernel resumed without privilege");
+    }
+
+    #[test]
+    fn verified_svc_to_process_sets_npriv() {
+        let mut c = Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        );
+        c.exception_entry(ExceptionNumber::SvCall);
+        let ret = svc_handler_to_process(&mut c);
+        assert_eq!(ret, EXC_RETURN_THREAD_PSP);
+        assert!(c.control.npriv());
+    }
+
+    #[test]
+    fn buggy_svc_to_process_keeps_privilege() {
+        let mut c = Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        );
+        c.psp = 0x2000_2800; // Pretend a process frame is staged at PSP.
+        c.exception_entry(ExceptionNumber::SvCall);
+        let ret = svc_handler_to_process_buggy(&mut c);
+        c.exception_return(ret);
+        // The process is now running but the CPU is still privileged: the
+        // MPU's unprivileged checks no longer constrain it.
+        assert!(c.mode_is_thread_privileged());
+        assert!(
+            c.is_privileged(),
+            "isolation break: process executes privileged"
+        );
+    }
+
+    #[test]
+    fn handlers_require_handler_mode() {
+        with_mode(Mode::Observe, || {
+            let mut c = Arm7::new(
+                AddrRange::new(0x2000_0000, 0x2000_1000),
+                AddrRange::new(0x2000_1000, 0x2000_3000),
+            );
+            let _ = sys_tick_isr(&mut c);
+        });
+        assert!(take_violations().iter().any(|v| v.site == "sys_tick_isr"));
+    }
+
+    #[test]
+    fn svc_to_kernel_restores_privilege() {
+        let mut c = preempted_cpu(); // nPRIV = 1 from the process.
+        let ret = svc_handler_to_kernel(&mut c);
+        assert_eq!(ret, EXC_RETURN_THREAD_MSP);
+        assert!(!c.control.npriv());
+    }
+
+    #[test]
+    fn generic_isr_services_device_then_behaves_like_systick() {
+        let mut c = preempted_cpu();
+        let ret = generic_isr(&mut c);
+        assert_eq!(ret, EXC_RETURN_THREAD_MSP);
+        assert!(c.trace.contains(&"device_service"));
+        assert!(!c.control.npriv());
+    }
+}

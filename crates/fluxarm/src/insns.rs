@@ -1,0 +1,576 @@
+//! Instruction semantics: the Tock-relevant ARMv7-M subset.
+//!
+//! Each method is one instruction, "both executable Rust and a formal
+//! semantics specified as a Flux contract" (paper Fig. 7, right). The
+//! contracts here are the same predicates, checked at execution time: a
+//! `requires!` refusal corresponds to Flux rejecting a handler that uses an
+//! instruction outside its specified domain, and `ensures!` checks the
+//! lifted ASL postcondition against the Rust implementation.
+//!
+//! References are to the ARMv7-M Architecture Reference Manual (DDI 0403E).
+
+use crate::cpu::{Arm7, Control, CpuMode, Gpr, SpecialRegister};
+use tt_contracts::{ensures, requires};
+
+/// ISB option (the paper's `IsbOpt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsbOpt {
+    /// Full-system barrier (`isb sy`).
+    Sys,
+}
+
+impl Arm7 {
+    /// Returns `true` if `addr` may be loaded into a stack pointer: inside
+    /// kernel stack or process RAM, or exactly one past the end (an empty
+    /// full-descending stack).
+    pub fn is_valid_sp_addr(&self, addr: u32) -> bool {
+        let a = addr as usize;
+        (a >= self.kernel_stack.start && a <= self.kernel_stack.end)
+            || (a >= self.process_ram.start && a <= self.process_ram.end)
+    }
+
+    /// `movw rd, #imm16` — A7-291: writes the zero-extended immediate.
+    pub fn movw_imm(&mut self, rd: Gpr, imm16: u32) {
+        requires!("movw_imm", imm16 <= 0xFFFF);
+        self.set_gpr(rd, imm16);
+        self.trace.push("movw");
+        ensures!("movw_imm", self.gpr(rd) == imm16);
+    }
+
+    /// `movt rd, #imm16` — A7-294: writes the immediate to the top half,
+    /// preserving the bottom half.
+    pub fn movt_imm(&mut self, rd: Gpr, imm16: u32) {
+        requires!("movt_imm", imm16 <= 0xFFFF);
+        let old_low = self.gpr(rd) & 0xFFFF;
+        self.set_gpr(rd, (imm16 << 16) | old_low);
+        self.trace.push("movt");
+        ensures!("movt_imm", self.gpr(rd) >> 16 == imm16);
+        ensures!("movt_imm", self.gpr(rd) & 0xFFFF == old_low);
+    }
+
+    /// `mov rd, rm` — A7-289.
+    pub fn mov_reg(&mut self, rd: Gpr, rm: Gpr) {
+        let v = self.gpr(rm);
+        self.set_gpr(rd, v);
+        self.trace.push("mov");
+        ensures!("mov_reg", self.gpr(rd) == self.gpr(rm));
+    }
+
+    /// `msr special, rn` — B5-677 and the paper's Fig. 7 (right).
+    ///
+    /// Contract (paper): the target must not be IPSR (read-only), and a
+    /// stack-pointer write must carry a valid RAM address. Writes to
+    /// CONTROL from unprivileged code are ignored by hardware (B5-677) —
+    /// the detail that makes the missed-mode-switch bug unrecoverable from
+    /// user mode.
+    pub fn msr(&mut self, reg: SpecialRegister, rn: Gpr) {
+        let val = self.gpr(rn);
+        requires!("msr", reg != SpecialRegister::Ipsr);
+        requires!(
+            "msr",
+            !matches!(reg, SpecialRegister::Msp | SpecialRegister::Psp)
+                || self.is_valid_sp_addr(val)
+        );
+        let old_control = self.control;
+        match reg {
+            SpecialRegister::Msp => {
+                if self.is_privileged() {
+                    self.msp = val & !0b11;
+                }
+            }
+            SpecialRegister::Psp => {
+                if self.is_privileged() {
+                    self.psp = val & !0b11;
+                }
+            }
+            SpecialRegister::Control => {
+                if self.is_privileged() {
+                    // In handler mode SPSEL writes are ignored (B1.4.4).
+                    let mask = if self.mode == CpuMode::Handler {
+                        0b01
+                    } else {
+                        0b11
+                    };
+                    self.control = Control((old_control.0 & !mask) | (val & mask));
+                } // Unprivileged CONTROL writes are ignored.
+            }
+            SpecialRegister::Lr => self.lr = val,
+            // Rejected by the precondition; a no-op here so Observe-mode
+            // verification can continue past the refutation.
+            SpecialRegister::Ipsr => {}
+        }
+        self.trace.push("msr");
+        ensures!(
+            "msr",
+            reg != SpecialRegister::Control
+                || !self.is_privileged()
+                || self.mode == CpuMode::Handler
+                || self.control.0 == val & 0b11
+        );
+    }
+
+    /// `mrs rd, special` — B5-675.
+    pub fn mrs(&mut self, rd: Gpr, reg: SpecialRegister) {
+        let v = match reg {
+            SpecialRegister::Msp => self.msp,
+            SpecialRegister::Psp => self.psp,
+            SpecialRegister::Control => self.control.0,
+            SpecialRegister::Ipsr => self.ipsr(),
+            SpecialRegister::Lr => self.lr,
+        };
+        self.set_gpr(rd, v);
+        self.trace.push("mrs");
+        ensures!(
+            "mrs",
+            reg != SpecialRegister::Ipsr || self.gpr(rd) == (self.psr & 0x1FF)
+        );
+    }
+
+    /// `isb` — A7-236: instruction synchronization barrier. In the model it
+    /// is the sequencing point after which a CONTROL write is architecturally
+    /// visible; the trace entry lets handler-shape checks demand it.
+    pub fn isb(&mut self, _opt: Option<IsbOpt>) {
+        self.trace.push("isb");
+    }
+
+    /// `dsb` — A7-233: data synchronization barrier.
+    pub fn dsb(&mut self) {
+        self.trace.push("dsb");
+    }
+
+    /// `ldr rt, [rn, #imm]` — A7-246.
+    pub fn ldr_imm(&mut self, rt: Gpr, rn: Gpr, imm: u32) {
+        let addr = self.gpr(rn).wrapping_add(imm);
+        requires!("ldr_imm", addr.is_multiple_of(4));
+        requires!("ldr_imm", self.is_valid_ram_addr(addr));
+        let v = self.mem.read(addr);
+        self.set_gpr(rt, v);
+        self.trace.push("ldr");
+        ensures!("ldr_imm", self.gpr(rt) == self.mem.read(addr));
+    }
+
+    /// `str rt, [rn, #imm]` — A7-428.
+    pub fn str_imm(&mut self, rt: Gpr, rn: Gpr, imm: u32) {
+        let addr = self.gpr(rn).wrapping_add(imm);
+        requires!("str_imm", addr.is_multiple_of(4));
+        requires!("str_imm", self.is_valid_ram_addr(addr));
+        let v = self.gpr(rt);
+        self.mem.write(addr, v);
+        self.trace.push("str");
+        ensures!("str_imm", self.mem.read(addr) == self.gpr(rt));
+    }
+
+    /// `stmdb rn!, {regs}` — A7-422: store-multiple decrement-before with
+    /// writeback. This is Tock's `stmdb sp!, {r4-r11}` kernel-register save.
+    pub fn stmdb_wback(&mut self, rn: Gpr, regs: &[Gpr]) {
+        let base = self.gpr(rn);
+        let new_base = base.wrapping_sub(4 * regs.len() as u32);
+        requires!("stmdb_wback", self.is_valid_sp_addr(new_base));
+        let mut addr = new_base;
+        // Lowest-numbered register at lowest address (A7-422).
+        let mut sorted: Vec<Gpr> = regs.to_vec();
+        sorted.sort_unstable();
+        for r in &sorted {
+            self.mem.write(addr, self.gpr(*r));
+            addr = addr.wrapping_add(4);
+        }
+        self.set_gpr(rn, new_base);
+        self.trace.push("stmdb");
+        ensures!("stmdb_wback", self.gpr(rn) == new_base);
+    }
+
+    /// `ldmia rn!, {regs}` — A7-242: load-multiple increment-after with
+    /// writeback. Tock's `ldmia sp!, {r4-r11}` kernel-register restore.
+    pub fn ldmia_wback(&mut self, rn: Gpr, regs: &[Gpr]) {
+        let base = self.gpr(rn);
+        requires!("ldmia_wback", self.is_valid_ram_addr(base));
+        let mut addr = base;
+        let mut sorted: Vec<Gpr> = regs.to_vec();
+        sorted.sort_unstable();
+        for r in &sorted {
+            let v = self.mem.read(addr);
+            self.set_gpr(*r, v);
+            addr = addr.wrapping_add(4);
+        }
+        self.set_gpr(rn, addr);
+        self.trace.push("ldmia");
+        ensures!(
+            "ldmia_wback",
+            self.gpr(rn) == base.wrapping_add(4 * regs.len() as u32)
+        );
+    }
+
+    /// Store-multiple to an address in a register *without* writeback
+    /// (`stmia rn, {regs}`) — used to save process registers into the
+    /// stored-state buffer.
+    pub fn stmia(&mut self, rn: Gpr, regs: &[Gpr]) {
+        let base = self.gpr(rn);
+        requires!("stmia", self.is_valid_ram_addr(base));
+        let mut addr = base;
+        let mut sorted: Vec<Gpr> = regs.to_vec();
+        sorted.sort_unstable();
+        for r in &sorted {
+            self.mem.write(addr, self.gpr(*r));
+            addr = addr.wrapping_add(4);
+        }
+        self.trace.push("stmia");
+    }
+
+    /// Load-multiple from an address in a register without writeback.
+    pub fn ldmia(&mut self, rn: Gpr, regs: &[Gpr]) {
+        let base = self.gpr(rn);
+        requires!("ldmia", self.is_valid_ram_addr(base));
+        let mut addr = base;
+        let mut sorted: Vec<Gpr> = regs.to_vec();
+        sorted.sort_unstable();
+        for r in &sorted {
+            let v = self.mem.read(addr);
+            self.set_gpr(*r, v);
+            addr = addr.wrapping_add(4);
+        }
+        self.trace.push("ldmia_nb");
+    }
+
+    /// `add rd, rn, #imm` — A7-189 (wrapping, flags not modelled).
+    pub fn add_imm(&mut self, rd: Gpr, rn: Gpr, imm: u32) {
+        let v = self.gpr(rn).wrapping_add(imm);
+        self.set_gpr(rd, v);
+        self.trace.push("add");
+    }
+
+    /// `sub rd, rn, #imm` — A7-448.
+    pub fn sub_imm(&mut self, rd: Gpr, rn: Gpr, imm: u32) {
+        let v = self.gpr(rn).wrapping_sub(imm);
+        self.set_gpr(rd, v);
+        self.trace.push("sub");
+    }
+
+    /// `push {regs}` — A7-350: store-multiple decrement-before on the
+    /// *active* stack pointer (Tock's `push {r4-r11}` kernel-register save).
+    pub fn push(&mut self, regs: &[Gpr]) {
+        let new_sp = self.active_sp().wrapping_sub(4 * regs.len() as u32);
+        requires!("push", self.is_valid_sp_addr(new_sp));
+        let mut sorted: Vec<Gpr> = regs.to_vec();
+        sorted.sort_unstable();
+        let mut addr = new_sp;
+        for r in &sorted {
+            self.mem.write(addr, self.gpr(*r));
+            addr = addr.wrapping_add(4);
+        }
+        self.set_active_sp(new_sp);
+        self.trace.push("push");
+        ensures!("push", self.active_sp() == new_sp);
+    }
+
+    /// `pop {regs}` — A7-348: load-multiple increment-after on the active
+    /// stack pointer.
+    pub fn pop(&mut self, regs: &[Gpr]) {
+        let base = self.active_sp();
+        requires!("pop", self.is_valid_ram_addr(base));
+        let mut sorted: Vec<Gpr> = regs.to_vec();
+        sorted.sort_unstable();
+        let mut addr = base;
+        for r in &sorted {
+            let v = self.mem.read(addr);
+            self.set_gpr(*r, v);
+            addr = addr.wrapping_add(4);
+        }
+        self.set_active_sp(addr);
+        self.trace.push("pop");
+        ensures!(
+            "pop",
+            self.active_sp() == base.wrapping_add(4 * regs.len() as u32)
+        );
+    }
+
+    /// `cpsid i` — B5-672: disable interrupts (modelled as a trace event;
+    /// FluxArm reasons about single interrupt arrivals, not nesting).
+    pub fn cpsid_i(&mut self) {
+        requires!("cpsid_i", self.is_privileged());
+        self.trace.push("cpsid");
+    }
+
+    /// `cpsie i` — B5-672: enable interrupts.
+    pub fn cpsie_i(&mut self) {
+        requires!("cpsie_i", self.is_privileged());
+        self.trace.push("cpsie");
+    }
+
+    /// `svc #imm` — B2-281: supervisor call. Latches the immediate (which
+    /// real handlers recover from the instruction stream) and takes the
+    /// SVCall exception; the caller then runs its SVC handler and the
+    /// handler's exception return.
+    pub fn svc(&mut self, imm: u8) {
+        requires!("svc", self.mode == crate::cpu::CpuMode::Thread);
+        self.last_svc_imm = Some(imm);
+        self.trace.push("svc");
+        self.exception_entry(crate::exceptions::ExceptionNumber::SvCall);
+        ensures!("svc", self.mode_is_handler());
+        ensures!("svc", self.ipsr() == 11);
+    }
+
+    /// The paper's `pseudo_ldr_special`: load a constant into a special
+    /// register (used to place `EXC_RETURN` values in LR).
+    pub fn pseudo_ldr_special(&mut self, reg: SpecialRegister, value: u32) {
+        requires!("pseudo_ldr_special", reg == SpecialRegister::Lr);
+        self.lr = value;
+        self.trace.push("ldr_special");
+        ensures!("pseudo_ldr_special", self.lr == value);
+    }
+
+    /// The paper's `get_value_from_special_reg`.
+    pub fn get_value_from_special_reg(&self, reg: SpecialRegister) -> u32 {
+        match reg {
+            SpecialRegister::Msp => self.msp,
+            SpecialRegister::Psp => self.psp,
+            SpecialRegister::Control => self.control.0,
+            SpecialRegister::Ipsr => self.ipsr(),
+            SpecialRegister::Lr => self.lr,
+        }
+    }
+
+    /// `bx rm` to a regular code address — A7-205. Exception returns
+    /// (`bx` to `0xFFFF_FFxx`) are handled by `Arm7::exception_return` in
+    /// [`crate::exceptions`].
+    pub fn bx(&mut self, target: u32) {
+        requires!("bx", target < 0xF000_0000);
+        self.pc = target & !1; // Clear the Thumb bit.
+        self.trace.push("bx");
+        ensures!("bx", self.pc == target & !1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::{take_violations, with_mode, Mode};
+    use tt_hw::AddrRange;
+
+    fn cpu() -> Arm7 {
+        Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        )
+    }
+
+    #[test]
+    fn movw_movt_build_32bit_constant() {
+        let mut c = cpu();
+        c.movw_imm(Gpr::R0, 0xBEEF);
+        c.movt_imm(Gpr::R0, 0xDEAD);
+        assert_eq!(c.gpr(Gpr::R0), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn movw_rejects_oversized_immediate() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.movw_imm(Gpr::R0, 0x1_0000);
+        });
+        assert_eq!(take_violations().len(), 1);
+    }
+
+    #[test]
+    fn msr_control_switches_privilege_in_thread_mode() {
+        let mut c = cpu();
+        c.movw_imm(Gpr::R0, 0b11);
+        c.msr(SpecialRegister::Control, Gpr::R0);
+        assert!(c.control.npriv());
+        assert!(c.control.spsel());
+        assert!(!c.is_privileged());
+    }
+
+    #[test]
+    fn msr_control_ignored_when_unprivileged() {
+        let mut c = cpu();
+        c.movw_imm(Gpr::R0, 0b01);
+        c.msr(SpecialRegister::Control, Gpr::R0); // Drop to unprivileged.
+        c.movw_imm(Gpr::R1, 0b00);
+        c.msr(SpecialRegister::Control, Gpr::R1); // Attempt to re-elevate.
+        assert!(
+            c.control.npriv(),
+            "unprivileged code must not regain privilege via CONTROL"
+        );
+    }
+
+    #[test]
+    fn msr_spsel_write_ignored_in_handler_mode() {
+        let mut c = cpu();
+        c.mode = crate::cpu::CpuMode::Handler;
+        c.movw_imm(Gpr::R0, 0b10);
+        c.msr(SpecialRegister::Control, Gpr::R0);
+        assert!(!c.control.spsel(), "SPSEL writes ignored in handler mode");
+    }
+
+    #[test]
+    fn msr_rejects_ipsr_target() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.msr(SpecialRegister::Ipsr, Gpr::R0);
+        });
+        assert!(!take_violations().is_empty());
+    }
+
+    #[test]
+    fn msr_sp_requires_valid_ram_addr() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.movw_imm(Gpr::R0, 0x4000); // 0x4000 is outside modelled RAM.
+            c.msr(SpecialRegister::Psp, Gpr::R0);
+        });
+        assert!(take_violations()
+            .iter()
+            .any(|v| v.site == "msr" && v.predicate.contains("is_valid_sp_addr")));
+    }
+
+    #[test]
+    fn msr_psp_sets_psp() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R2, 0x2000_2000);
+        c.msr(SpecialRegister::Psp, Gpr::R2);
+        assert_eq!(c.psp, 0x2000_2000);
+    }
+
+    #[test]
+    fn mrs_reads_back_specials() {
+        let mut c = cpu();
+        c.psr = 0x0000_000F; // IPSR = 15 (SysTick).
+        c.mrs(Gpr::R3, SpecialRegister::Ipsr);
+        assert_eq!(c.gpr(Gpr::R3), 15);
+        c.mrs(Gpr::R4, SpecialRegister::Msp);
+        assert_eq!(c.gpr(Gpr::R4), c.msp);
+    }
+
+    #[test]
+    fn ldr_str_roundtrip() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R1, 0x2000_2000);
+        c.set_gpr(Gpr::R0, 0x1234_5678);
+        c.str_imm(Gpr::R0, Gpr::R1, 8);
+        c.set_gpr(Gpr::R2, 0);
+        c.ldr_imm(Gpr::R2, Gpr::R1, 8);
+        assert_eq!(c.gpr(Gpr::R2), 0x1234_5678);
+    }
+
+    #[test]
+    fn ldr_rejects_invalid_address() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.set_gpr(Gpr::R1, 0x9000_0000);
+            c.ldr_imm(Gpr::R0, Gpr::R1, 0);
+        });
+        assert!(!take_violations().is_empty());
+    }
+
+    #[test]
+    fn stmdb_ldmia_roundtrip_callee_saved() {
+        let mut c = cpu();
+        for (i, r) in Gpr::CALLEE_SAVED.iter().enumerate() {
+            c.set_gpr(*r, 0x100 + i as u32);
+        }
+        c.set_gpr(Gpr::R0, c.msp);
+        c.stmdb_wback(Gpr::R0, &Gpr::CALLEE_SAVED);
+        let sp_after_push = c.gpr(Gpr::R0);
+        assert_eq!(sp_after_push, c.msp - 32);
+        // Clobber and restore.
+        for r in Gpr::CALLEE_SAVED {
+            c.set_gpr(r, 0);
+        }
+        c.ldmia_wback(Gpr::R0, &Gpr::CALLEE_SAVED);
+        for (i, r) in Gpr::CALLEE_SAVED.iter().enumerate() {
+            assert_eq!(c.gpr(*r), 0x100 + i as u32);
+        }
+        assert_eq!(c.gpr(Gpr::R0), sp_after_push + 32);
+    }
+
+    #[test]
+    fn stm_uses_ascending_register_order() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R4, 44);
+        c.set_gpr(Gpr::R5, 55);
+        c.set_gpr(Gpr::R0, 0x2000_2000);
+        // Pass registers in descending order; memory layout must still be
+        // lowest register at lowest address.
+        c.stmia(Gpr::R0, &[Gpr::R5, Gpr::R4]);
+        assert_eq!(c.mem.read(0x2000_2000), 44);
+        assert_eq!(c.mem.read(0x2000_2004), 55);
+    }
+
+    #[test]
+    fn add_sub_wrap() {
+        let mut c = cpu();
+        c.set_gpr(Gpr::R1, u32::MAX);
+        c.add_imm(Gpr::R0, Gpr::R1, 1);
+        assert_eq!(c.gpr(Gpr::R0), 0);
+        c.sub_imm(Gpr::R2, Gpr::R0, 1);
+        assert_eq!(c.gpr(Gpr::R2), u32::MAX);
+    }
+
+    #[test]
+    fn bx_clears_thumb_bit() {
+        let mut c = cpu();
+        c.bx(0x0000_1235);
+        assert_eq!(c.pc, 0x0000_1234);
+    }
+
+    #[test]
+    fn bx_rejects_exc_return_values() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.bx(0xFFFF_FFF9);
+        });
+        assert!(!take_violations().is_empty());
+    }
+
+    #[test]
+    fn cps_requires_privilege() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.control = Control(0b01);
+            c.cpsid_i();
+        });
+        assert_eq!(take_violations().len(), 1);
+    }
+
+    #[test]
+    fn pseudo_ldr_special_only_targets_lr() {
+        let mut c = cpu();
+        c.pseudo_ldr_special(SpecialRegister::Lr, 0xFFFF_FFF9);
+        assert_eq!(c.lr, 0xFFFF_FFF9);
+        with_mode(Mode::Observe, || {
+            c.pseudo_ldr_special(SpecialRegister::Msp, 0);
+        });
+        assert_eq!(take_violations().len(), 1);
+    }
+
+    #[test]
+    fn svc_latches_immediate_and_takes_exception() {
+        let mut c = cpu();
+        c.svc(0xff);
+        assert_eq!(c.last_svc_imm, Some(0xff));
+        assert!(c.mode_is_handler());
+        assert_eq!(c.ipsr(), 11);
+        // A handler can dispatch on the service number.
+        let imm = c.last_svc_imm.take().unwrap();
+        assert_eq!(imm, 0xff);
+    }
+
+    #[test]
+    fn svc_from_handler_mode_is_rejected() {
+        with_mode(Mode::Observe, || {
+            let mut c = cpu();
+            c.mode = crate::cpu::CpuMode::Handler;
+            c.svc(4);
+        });
+        assert!(take_violations().iter().any(|v| v.site == "svc"));
+    }
+
+    #[test]
+    fn trace_records_instruction_shapes() {
+        let mut c = cpu();
+        c.movw_imm(Gpr::R0, 0);
+        c.msr(SpecialRegister::Control, Gpr::R0);
+        c.isb(Some(IsbOpt::Sys));
+        assert_eq!(c.trace, vec!["movw", "msr", "isb"]);
+    }
+}

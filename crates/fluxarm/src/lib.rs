@@ -1,0 +1,35 @@
+//! FluxArm: an executable formal semantics of the Tock-relevant ARMv7-M
+//! subset (paper §4.5).
+//!
+//! The paper verifies Tock's inline-assembly interrupt handlers and context
+//! switch by lifting ARM's Architecture Specification Language into Rust
+//! and attaching Flux contracts. This crate is that artifact, executable:
+//!
+//! * [`cpu`] — the modelled CPU state (`Arm7`, Fig. 7 left);
+//! * [`insns`] — instruction semantics with contracts (Fig. 7 right);
+//! * [`alu`] — flag-setting ALU/branch instructions (APSR semantics);
+//! * [`exceptions`] — hardware exception entry/return (B1.5.6/B1.5.8);
+//! * [`handlers`] — Tock's top-half handlers, verified and **buggy
+//!   historical variants** (Fig. 8 left, §2.2);
+//! * [`switch`] — the kernel↔process context switch and the
+//!   `cpu_state_correct` machine invariant (Fig. 8 right);
+//! * [`contracts`] — the verification obligations behind Figure 12's
+//!   "Interrupts" row.
+
+pub mod alu;
+pub mod asm;
+pub mod contracts;
+pub mod cpu;
+pub mod exceptions;
+pub mod handlers;
+pub mod insns;
+pub mod switch;
+
+pub use alu::{add_with_carry, Cond, Flags};
+pub use asm::{Insn, Program};
+pub use cpu::{Arm7, Control, CpuMode, Gpr, Memory, SpecialRegister};
+pub use exceptions::{
+    ExceptionFrame, ExceptionNumber, EXC_RETURN_HANDLER, EXC_RETURN_THREAD_MSP,
+    EXC_RETURN_THREAD_PSP,
+};
+pub use switch::{cpu_state_correct, StoredState};

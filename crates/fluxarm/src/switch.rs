@@ -1,0 +1,345 @@
+//! The modelled context switch and whole-control-flow verification
+//! (paper Fig. 8, right).
+//!
+//! `switch_to_user_part1` models how Tock enters a process,
+//! [`Arm7::process`] models an arbitrary process execution (a havoc that
+//! erases everything known about registers and process memory),
+//! [`Arm7::preempt`] models the hardware taking an exception, and
+//! `switch_to_user_part2` models the kernel-side epilogue. The whole flow
+//! is checked by [`cpu_state_correct`]: callee-saved registers and the
+//! kernel stack pointer are preserved, and the CPU lands back in privileged
+//! thread mode.
+
+use crate::cpu::{Arm7, Gpr, SpecialRegister};
+use crate::exceptions::{ExceptionNumber, FRAME_BYTES};
+use crate::handlers::IsrFn;
+use crate::insns::IsbOpt;
+use tt_contracts::{ensures, requires};
+
+/// The kernel-held stored state of a process: callee-saved registers and
+/// the process stack pointer (Tock's `CortexMStoredState`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredState {
+    /// Saved r4–r11.
+    pub regs: [u32; 8],
+    /// Saved process stack pointer (points at a staged exception frame).
+    pub psp: u32,
+}
+
+impl StoredState {
+    /// Stages a brand-new process: writes an initial exception frame at the
+    /// top of the process stack so the first `exception_return` "returns"
+    /// into the process entry point, exactly how Tock bootstraps a process.
+    pub fn new_for_process(cpu: &mut Arm7, entry_pc: u32, stack_top: u32) -> Self {
+        requires!(
+            "StoredState::new_for_process",
+            cpu.is_valid_sp_addr(stack_top) && stack_top.is_multiple_of(8)
+        );
+        let frame_ptr = stack_top - FRAME_BYTES;
+        requires!(
+            "StoredState::new_for_process",
+            cpu.process_ram.contains(frame_ptr as usize)
+        );
+        // r0-r3, r12, lr zeroed; pc = entry; psr = Thumb bit set.
+        for i in 0..6u32 {
+            cpu.mem.write(frame_ptr + 4 * i, 0);
+        }
+        cpu.mem.write(frame_ptr + 24, entry_pc);
+        cpu.mem.write(frame_ptr + 28, 0x0100_0000);
+        Self {
+            regs: [0; 8],
+            psp: frame_ptr,
+        }
+    }
+}
+
+/// The paper's `cpu_state_correct(new, old)`: the machine invariants the
+/// kernel needs across a full kernel→process→kernel round trip.
+pub fn cpu_state_correct(new: &Arm7, old: &Arm7) -> bool {
+    let callee_saved_preserved = Gpr::CALLEE_SAVED.iter().all(|r| new.gpr(*r) == old.gpr(*r));
+    callee_saved_preserved
+        && new.msp == old.msp
+        && new.mode_is_thread_privileged()
+        && !new.control.spsel()
+}
+
+impl Arm7 {
+    /// Kernel→process half of the context switch (Tock `switch_to_user`
+    /// up to and including the `svc`).
+    ///
+    /// Saves the kernel's callee-saved registers on MSP, stages the process
+    /// stack pointer and registers, and takes the SVC exception whose
+    /// handler drops privilege and resumes the process from its staged
+    /// frame on PSP.
+    pub fn switch_to_user_part1(&mut self, state: &StoredState, svc_handler: IsrFn) {
+        requires!("switch_to_user_part1", self.mode_is_thread_privileged());
+        requires!("switch_to_user_part1", !self.control.spsel());
+        requires!("switch_to_user_part1", self.is_valid_sp_addr(state.psp));
+
+        // push {r4-r11}: save kernel registers on the kernel stack.
+        self.push(&Gpr::CALLEE_SAVED);
+
+        // msr psp, r0: install the process stack pointer.
+        self.set_gpr(Gpr::R0, state.psp);
+        self.msr(SpecialRegister::Psp, Gpr::R0);
+
+        // Restore the process's callee-saved registers from stored state
+        // (Tock: `ldmia r1!, {r4-r11}` from the stored-state buffer).
+        for (i, r) in Gpr::CALLEE_SAVED.iter().enumerate() {
+            self.set_gpr(*r, state.regs[i]);
+        }
+        self.trace.push("restore_process_regs");
+
+        // svc 0xff: trap into the SVC handler, which configures CONTROL and
+        // performs the exception return into the process. 0xff is Tock's
+        // context-switch service number.
+        self.svc(0xff);
+        let exc_return = svc_handler(self);
+        self.exception_return(exc_return);
+        ensures!(
+            "switch_to_user_part1",
+            self.mode == crate::cpu::CpuMode::Thread
+        );
+    }
+
+    /// Models an arbitrary process execution (paper: "erases all the
+    /// information currently known about the state of the hardware
+    /// registers and the process region of memory").
+    ///
+    /// The `requires!` here *is* the isolation obligation: if the context
+    /// switch delivered us to process code still privileged, verification
+    /// fails at this call — the paper's missed-mode-switch bug.
+    pub fn process(&mut self, seed: u32) {
+        requires!("process", self.mode_is_thread_unprivileged());
+        requires!("process", self.control.spsel());
+        let mut x = seed | 1;
+        let mut next = |modulus: u32| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            x % modulus.max(1)
+        };
+        // Havoc every general register and the condition flags.
+        for r in Gpr::ALL {
+            let v = next(u32::MAX);
+            self.set_gpr(r, v);
+        }
+        self.psr = (next(16) << 28) | (self.psr & 0x01FF_FFFF);
+        // Havoc the process's own RAM.
+        let ram = self.process_ram;
+        self.mem.havoc_range(ram, seed);
+        // Move PSP anywhere in the process stack with room for a frame,
+        // 8-byte aligned as AAPCS requires.
+        let span = (ram.len() as u32).saturating_sub(2 * FRAME_BYTES);
+        let psp = ram.start as u32 + FRAME_BYTES + (next(span.max(8)) & !7);
+        self.psp = psp;
+        self.trace.push("process_run");
+        ensures!("process", self.process_ram.contains(self.psp as usize));
+    }
+
+    /// Models a hardware preemption of the running thread: exception entry,
+    /// the given top-half handler, and the handler's exception return.
+    pub fn preempt(&mut self, exception: ExceptionNumber, isr: IsrFn) {
+        requires!("preempt", self.mode == crate::cpu::CpuMode::Thread);
+        self.exception_entry(exception);
+        let exc_return = isr(self);
+        self.exception_return(exc_return);
+    }
+
+    /// Process→kernel half of the context switch (Tock `switch_to_user`
+    /// after the `svc` returns): saves the process's callee-saved registers
+    /// and PSP into stored state and restores the kernel's registers.
+    pub fn switch_to_user_part2(&mut self, state: &mut StoredState) {
+        requires!("switch_to_user_part2", self.mode_is_thread_privileged());
+        // Save process registers (Tock: `stmia r1!, {r4-r11}`).
+        for (i, r) in Gpr::CALLEE_SAVED.iter().enumerate() {
+            state.regs[i] = self.gpr(*r);
+        }
+        self.mrs(Gpr::R2, SpecialRegister::Psp);
+        state.psp = self.gpr(Gpr::R2);
+        self.trace.push("save_process_regs");
+
+        // pop {r4-r11}: restore kernel registers from the kernel stack.
+        self.pop(&Gpr::CALLEE_SAVED);
+        self.isb(Some(IsbOpt::Sys));
+        ensures!("switch_to_user_part2", self.mode_is_thread_privileged());
+    }
+
+    /// The paper's `control_flow_kernel_to_kernel` (Fig. 8, right): the
+    /// complete kernel→process→kernel round trip, with the machine
+    /// invariants checked as a postcondition.
+    pub fn control_flow_kernel_to_kernel(
+        &mut self,
+        state: &mut StoredState,
+        exception: ExceptionNumber,
+        svc_handler: IsrFn,
+        preempt_isr: IsrFn,
+        seed: u32,
+    ) {
+        requires!(
+            "control_flow_kernel_to_kernel",
+            exception.number() >= 11 && self.mode_is_thread_privileged()
+        );
+        let old = self.clone();
+        // Context switch asm.
+        self.switch_to_user_part1(state, svc_handler);
+        // Run a process.
+        self.process(seed);
+        // Preempt the process with an exception.
+        self.preempt(exception, preempt_isr);
+        // Run the rest of the context switch.
+        self.switch_to_user_part2(state);
+        ensures!(
+            "control_flow_kernel_to_kernel",
+            cpu_state_correct(self, &old)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handlers::{
+        svc_handler_to_process, svc_handler_to_process_buggy, sys_tick_isr, sys_tick_isr_buggy,
+    };
+    use tt_contracts::{take_violations, with_mode, Mode};
+    use tt_hw::AddrRange;
+
+    fn kernel_cpu() -> (Arm7, StoredState) {
+        let mut cpu = Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        );
+        for (i, r) in Gpr::CALLEE_SAVED.iter().enumerate() {
+            cpu.set_gpr(*r, K_BASE + i as u32);
+        }
+        let state = StoredState::new_for_process(&mut cpu, 0x0000_4000, 0x2000_3000);
+        (cpu, state)
+    }
+
+    const K_BASE: u32 = 0x4400;
+
+    #[test]
+    fn full_round_trip_preserves_kernel_state() {
+        let (mut cpu, mut state) = kernel_cpu();
+        let old = cpu.clone();
+        cpu.control_flow_kernel_to_kernel(
+            &mut state,
+            ExceptionNumber::SysTick,
+            svc_handler_to_process,
+            sys_tick_isr,
+            0xABCD,
+        );
+        assert!(cpu_state_correct(&cpu, &old));
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn round_trip_saves_process_state() {
+        let (mut cpu, mut state) = kernel_cpu();
+        cpu.control_flow_kernel_to_kernel(
+            &mut state,
+            ExceptionNumber::SysTick,
+            svc_handler_to_process,
+            sys_tick_isr,
+            7,
+        );
+        // The process havocked its registers; the saved state must reflect
+        // the process's values, not the kernel's.
+        assert!(cpu.process_ram.contains(state.psp as usize));
+    }
+
+    #[test]
+    fn repeated_round_trips_stay_correct() {
+        let (mut cpu, mut state) = kernel_cpu();
+        let old = cpu.clone();
+        for seed in 0..16u32 {
+            cpu.control_flow_kernel_to_kernel(
+                &mut state,
+                ExceptionNumber::SysTick,
+                svc_handler_to_process,
+                sys_tick_isr,
+                seed,
+            );
+            assert!(cpu_state_correct(&cpu, &old), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn buggy_systick_fails_cpu_state_correct() {
+        let violations = with_mode(Mode::Observe, || {
+            let (mut cpu, mut state) = kernel_cpu();
+            cpu.control_flow_kernel_to_kernel(
+                &mut state,
+                ExceptionNumber::SysTick,
+                svc_handler_to_process,
+                sys_tick_isr_buggy,
+                42,
+            );
+            take_violations()
+        });
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.site == "control_flow_kernel_to_kernel"),
+            "expected cpu_state_correct refutation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn buggy_svc_fails_process_isolation_precondition() {
+        let violations = with_mode(Mode::Observe, || {
+            let (mut cpu, mut state) = kernel_cpu();
+            cpu.control_flow_kernel_to_kernel(
+                &mut state,
+                ExceptionNumber::SysTick,
+                svc_handler_to_process_buggy,
+                sys_tick_isr,
+                42,
+            );
+            take_violations()
+        });
+        assert!(
+            violations.iter().any(|v| v.site == "process"),
+            "expected privileged-process refutation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn part1_lands_in_unprivileged_process_context() {
+        let (mut cpu, state) = kernel_cpu();
+        cpu.switch_to_user_part1(&state, svc_handler_to_process);
+        assert!(cpu.mode_is_thread_unprivileged());
+        assert!(cpu.control.spsel());
+        assert_eq!(cpu.pc, 0x0000_4000, "resumed at the staged entry point");
+    }
+
+    #[test]
+    fn part1_requires_privileged_kernel_thread() {
+        let violations = with_mode(Mode::Observe, || {
+            let (mut cpu, state) = kernel_cpu();
+            cpu.control = crate::cpu::Control(0b01);
+            cpu.switch_to_user_part1(&state, svc_handler_to_process);
+            take_violations()
+        });
+        assert!(violations.iter().any(|v| v.site == "switch_to_user_part1"));
+    }
+
+    #[test]
+    fn new_process_frame_is_staged_at_stack_top() {
+        let (cpu, state) = kernel_cpu();
+        let frame = cpu.peek_frame(state.psp);
+        assert_eq!(frame.pc, 0x0000_4000);
+        assert_eq!(frame.psr, 0x0100_0000);
+        assert_eq!(state.psp, 0x2000_3000 - 32);
+    }
+
+    #[test]
+    fn preempt_requires_thread_mode() {
+        let violations = with_mode(Mode::Observe, || {
+            let (mut cpu, _) = kernel_cpu();
+            cpu.mode = crate::cpu::CpuMode::Handler;
+            cpu.preempt(ExceptionNumber::SysTick, sys_tick_isr);
+            take_violations()
+        });
+        assert!(violations.iter().any(|v| v.site == "preempt"));
+    }
+}

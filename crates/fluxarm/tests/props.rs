@@ -1,0 +1,165 @@
+//! Property tests for the FluxArm semantics: the machine invariants that
+//! §4.5's proof relies on, checked over randomized states.
+
+use proptest::prelude::*;
+use tt_fluxarm::cpu::{Arm7, Control, Gpr};
+use tt_fluxarm::exceptions::{ExceptionNumber, FRAME_BYTES};
+use tt_fluxarm::handlers;
+use tt_fluxarm::switch::{cpu_state_correct, StoredState};
+use tt_fluxarm::{add_with_carry, Cond, Flags};
+use tt_hw::AddrRange;
+
+fn fresh_cpu() -> Arm7 {
+    Arm7::new(
+        AddrRange::new(0x2000_0000, 0x2000_1000),
+        AddrRange::new(0x2000_1000, 0x2000_3000),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exception entry followed by return restores the full caller-visible
+    /// state, for every (privilege, stack-selection) combination and
+    /// arbitrary register contents.
+    #[test]
+    fn exception_roundtrip_preserves_caller_state(
+        control_bits in 0u32..4,
+        regs in prop::array::uniform4(any::<u32>()),
+        pc_q in 0u32..0x1000,
+        psr_flags in 0u32..16,
+    ) {
+        let mut cpu = fresh_cpu();
+        cpu.control = Control(control_bits);
+        cpu.msp = 0x2000_0F00;
+        cpu.psp = 0x2000_2F00;
+        cpu.set_gpr(Gpr::R0, regs[0]);
+        cpu.set_gpr(Gpr::R1, regs[1]);
+        cpu.set_gpr(Gpr::R3, regs[2]);
+        cpu.set_gpr(Gpr::R12, regs[3]);
+        cpu.pc = pc_q * 4;
+        cpu.psr = psr_flags << 28;
+        let before = cpu.clone();
+
+        cpu.exception_entry(ExceptionNumber::PendSv);
+        prop_assert!(cpu.mode_is_handler());
+        prop_assert!(cpu.is_privileged());
+        prop_assert_eq!(cpu.ipsr(), 14);
+        let exc = cpu.lr;
+        cpu.exception_return(exc);
+
+        prop_assert_eq!(cpu.gpr(Gpr::R0), before.gpr(Gpr::R0));
+        prop_assert_eq!(cpu.gpr(Gpr::R1), before.gpr(Gpr::R1));
+        prop_assert_eq!(cpu.gpr(Gpr::R3), before.gpr(Gpr::R3));
+        prop_assert_eq!(cpu.gpr(Gpr::R12), before.gpr(Gpr::R12));
+        prop_assert_eq!(cpu.pc, before.pc);
+        prop_assert_eq!(cpu.psr, before.psr);
+        prop_assert_eq!(cpu.active_sp(), before.active_sp());
+        prop_assert_eq!(cpu.control.npriv(), before.control.npriv());
+        prop_assert_eq!(cpu.mode_is_thread_privileged(), before.mode_is_thread_privileged());
+    }
+
+    /// The full verified control flow preserves kernel state for arbitrary
+    /// havoc seeds and kernel register contents.
+    #[test]
+    fn verified_control_flow_is_seed_independent(
+        seed in any::<u32>(),
+        kernel_regs in prop::array::uniform8(any::<u32>()),
+    ) {
+        let mut cpu = fresh_cpu();
+        for (i, r) in Gpr::CALLEE_SAVED.iter().enumerate() {
+            cpu.set_gpr(*r, kernel_regs[i]);
+        }
+        let mut state = StoredState::new_for_process(&mut cpu, 0x4000, 0x2000_3000);
+        let old = cpu.clone();
+        cpu.control_flow_kernel_to_kernel(
+            &mut state,
+            ExceptionNumber::SysTick,
+            handlers::svc_handler_to_process,
+            handlers::sys_tick_isr,
+            seed,
+        );
+        prop_assert!(cpu_state_correct(&cpu, &old));
+        // The saved process stack pointer stays inside process RAM.
+        prop_assert!(cpu.process_ram.contains(state.psp as usize));
+    }
+
+    /// The buggy SysTick handler fails `cpu_state_correct` for EVERY seed:
+    /// the bug is unconditional, not input-dependent.
+    #[test]
+    fn buggy_systick_fails_for_every_seed(seed in any::<u32>()) {
+        let violations = tt_contracts::with_mode(tt_contracts::Mode::Observe, || {
+            let mut cpu = fresh_cpu();
+            let mut state = StoredState::new_for_process(&mut cpu, 0x4000, 0x2000_3000);
+            let old = cpu.clone();
+            cpu.control_flow_kernel_to_kernel(
+                &mut state,
+                ExceptionNumber::SysTick,
+                handlers::svc_handler_to_process,
+                handlers::sys_tick_isr_buggy,
+                seed,
+            );
+            let correct = cpu_state_correct(&cpu, &old);
+            let v = tt_contracts::take_violations();
+            (correct, v)
+        });
+        prop_assert!(!violations.0, "seed {seed} unexpectedly verified");
+        prop_assert!(!violations.1.is_empty());
+    }
+
+    /// AddWithCarry agrees with 64-bit reference arithmetic everywhere.
+    #[test]
+    fn add_with_carry_reference(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let (r, c, v) = add_with_carry(a, b, cin);
+        let wide = a as u64 + b as u64 + cin as u64;
+        prop_assert_eq!(r, wide as u32);
+        prop_assert_eq!(c, wide > u32::MAX as u64);
+        let swide = a as i32 as i64 + b as i32 as i64 + cin as i64;
+        prop_assert_eq!(v, swide != (r as i32) as i64);
+    }
+
+    /// Condition codes match their arithmetic definitions after a compare.
+    #[test]
+    fn conditions_match_comparison_semantics(a in any::<u32>(), b in any::<u32>()) {
+        let mut cpu = fresh_cpu();
+        cpu.set_gpr(Gpr::R0, a);
+        cpu.set_gpr(Gpr::R1, b);
+        cpu.cmp_reg(Gpr::R0, Gpr::R1);
+        let f = cpu.flags();
+        prop_assert_eq!(Cond::Eq.passed(f), a == b);
+        prop_assert_eq!(Cond::Ne.passed(f), a != b);
+        prop_assert_eq!(Cond::Hs.passed(f), a >= b);
+        prop_assert_eq!(Cond::Lo.passed(f), a < b);
+        prop_assert_eq!(Cond::Hi.passed(f), a > b);
+        prop_assert_eq!(Cond::Ls.passed(f), a <= b);
+        prop_assert_eq!(Cond::Ge.passed(f), (a as i32) >= (b as i32));
+        prop_assert_eq!(Cond::Lt.passed(f), (a as i32) < (b as i32));
+        prop_assert!(Cond::Al.passed(f));
+    }
+
+    /// Stacked frames never overlap: entry decrements the active stack by
+    /// exactly one frame and the stored words reproduce the registers.
+    #[test]
+    fn stacked_frame_layout(r0 in any::<u32>(), r12 in any::<u32>(), psr_hi in 0u32..16) {
+        let mut cpu = fresh_cpu();
+        cpu.set_gpr(Gpr::R0, r0);
+        cpu.set_gpr(Gpr::R12, r12);
+        cpu.psr = psr_hi << 28;
+        let sp0 = cpu.active_sp();
+        cpu.exception_entry(ExceptionNumber::SvCall);
+        prop_assert_eq!(cpu.active_sp(), sp0 - FRAME_BYTES);
+        let frame = cpu.peek_frame(cpu.msp);
+        prop_assert_eq!(frame.r0, r0);
+        prop_assert_eq!(frame.r12, r12);
+        prop_assert_eq!(frame.psr, psr_hi << 28);
+    }
+
+    /// Flags encode/decode is the identity on the PSR top nibble and
+    /// leaves the rest untouched.
+    #[test]
+    fn flags_psr_roundtrip(psr in any::<u32>()) {
+        let f = Flags::from_psr(psr);
+        let back = f.into_psr(psr);
+        prop_assert_eq!(back, psr);
+    }
+}

@@ -1,0 +1,212 @@
+//! Refined addresses: the reproduction of Flux-STD's `PtrU8`.
+//!
+//! The paper wraps raw `*const u8` pointers into a `PtrU8` that tracks the
+//! address as a refinement index, enabling verified (non-overflowing)
+//! pointer arithmetic (§5). In the simulator all addresses are plain
+//! integers into the modelled physical address space, so `PtrU8` is an
+//! address-carrying newtype whose arithmetic is contract-checked.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+use tt_contracts::{checked_add, checked_sub};
+
+/// A refined byte pointer: an address in the simulated physical memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PtrU8(usize);
+
+impl PtrU8 {
+    /// Creates a pointer to `addr`.
+    pub const fn new(addr: usize) -> Self {
+        Self(addr)
+    }
+
+    /// The null pointer.
+    pub const fn null() -> Self {
+        Self(0)
+    }
+
+    /// Returns the raw address (the paper's `as_usize`).
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// Offsets the pointer forward, reporting an overflow obligation if the
+    /// addition wraps (Flux would reject such code).
+    pub fn offset(self, bytes: usize) -> Self {
+        Self(checked_add("PtrU8::offset", self.0, bytes))
+    }
+
+    /// Offsets the pointer backward, reporting an underflow obligation if
+    /// the subtraction wraps.
+    pub fn offset_back(self, bytes: usize) -> Self {
+        Self(checked_sub("PtrU8::offset_back", self.0, bytes))
+    }
+
+    /// Returns `true` if the address is aligned to power-of-two `align`.
+    pub fn is_aligned(self, align: usize) -> bool {
+        tt_contracts::math::is_aligned(self.0, align)
+    }
+
+    /// Aligns the address up to power-of-two `align`.
+    pub fn align_up(self, align: usize) -> Self {
+        Self(tt_contracts::math::align_up(self.0, align))
+    }
+}
+
+impl Add<usize> for PtrU8 {
+    type Output = PtrU8;
+    fn add(self, rhs: usize) -> PtrU8 {
+        self.offset(rhs)
+    }
+}
+
+impl Sub<PtrU8> for PtrU8 {
+    type Output = usize;
+    fn sub(self, rhs: PtrU8) -> usize {
+        checked_sub("PtrU8::sub", self.0, rhs.0)
+    }
+}
+
+impl fmt::LowerHex for PtrU8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Display for PtrU8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl From<usize> for PtrU8 {
+    fn from(addr: usize) -> Self {
+        Self(addr)
+    }
+}
+
+/// A half-open address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    /// Inclusive start address.
+    pub start: usize,
+    /// Exclusive end address.
+    pub end: usize,
+}
+
+impl AddrRange {
+    /// Creates a range; `start <= end` is an invariant.
+    pub fn new(start: usize, end: usize) -> Self {
+        tt_contracts::invariant!("AddrRange", start <= end);
+        Self { start, end }
+    }
+
+    /// Creates a range from a start pointer and a length.
+    pub fn from_start_size(start: PtrU8, size: usize) -> Self {
+        Self::new(start.as_usize(), start.offset(size).as_usize())
+    }
+
+    /// Returns the number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `addr` lies inside the range.
+    pub fn contains(&self, addr: usize) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Returns `true` if `other` lies entirely inside this range.
+    pub fn contains_range(&self, other: &AddrRange) -> bool {
+        other.is_empty() || (other.start >= self.start && other.end <= self.end)
+    }
+
+    /// Returns `true` if the two ranges share at least one byte.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::{take_violations, with_mode, Mode};
+
+    #[test]
+    fn ptr_arithmetic_roundtrip() {
+        let p = PtrU8::new(0x2000_0000);
+        assert_eq!((p + 0x100).as_usize(), 0x2000_0100);
+        assert_eq!((p + 0x100) - p, 0x100);
+        assert_eq!(p.offset_back(0x10).as_usize(), 0x1FFF_FFF0);
+    }
+
+    #[test]
+    fn ptr_overflow_is_an_obligation_not_a_wrap() {
+        with_mode(Mode::Observe, || {
+            let p = PtrU8::new(usize::MAX);
+            assert_eq!(p.offset(2).as_usize(), usize::MAX); // Saturates.
+            let q = PtrU8::new(0);
+            assert_eq!(q.offset_back(1).as_usize(), 0);
+        });
+        assert_eq!(take_violations().len(), 2);
+    }
+
+    #[test]
+    fn ptr_alignment_helpers() {
+        let p = PtrU8::new(0x2000_0011);
+        assert!(!p.is_aligned(32));
+        assert_eq!(p.align_up(32).as_usize(), 0x2000_0020);
+        assert!(PtrU8::new(0x2000_0020).is_aligned(32));
+    }
+
+    #[test]
+    fn range_contains_and_len() {
+        let r = AddrRange::new(100, 200);
+        assert_eq!(r.len(), 100);
+        assert!(r.contains(100));
+        assert!(r.contains(199));
+        assert!(!r.contains(200));
+        assert!(!r.contains(99));
+        assert!(!r.is_empty());
+        assert!(AddrRange::new(5, 5).is_empty());
+    }
+
+    #[test]
+    fn range_overlap_cases() {
+        let a = AddrRange::new(100, 200);
+        assert!(a.overlaps(&AddrRange::new(150, 250)));
+        assert!(a.overlaps(&AddrRange::new(50, 101)));
+        assert!(a.overlaps(&AddrRange::new(120, 130)));
+        assert!(!a.overlaps(&AddrRange::new(200, 300))); // Touching, no share.
+        assert!(!a.overlaps(&AddrRange::new(0, 100)));
+        assert!(!a.overlaps(&AddrRange::new(150, 150))); // Empty never overlaps.
+    }
+
+    #[test]
+    fn range_containment() {
+        let a = AddrRange::new(100, 200);
+        assert!(a.contains_range(&AddrRange::new(100, 200)));
+        assert!(a.contains_range(&AddrRange::new(150, 160)));
+        assert!(a.contains_range(&AddrRange::new(120, 120))); // Empty fits anywhere.
+        assert!(!a.contains_range(&AddrRange::new(99, 150)));
+        assert!(!a.contains_range(&AddrRange::new(150, 201)));
+    }
+
+    #[test]
+    fn inverted_range_violates_invariant() {
+        with_mode(Mode::Observe, || {
+            let _ = AddrRange::new(10, 5);
+        });
+        assert_eq!(take_violations().len(), 1);
+    }
+
+    #[test]
+    fn display_formats_as_hex() {
+        assert_eq!(PtrU8::new(0x20001000).to_string(), "0x20001000");
+    }
+}

@@ -1,0 +1,11 @@
+//! ARMv7-M (Cortex-M) protected-memory system architecture, PMSAv7.
+//!
+//! Models the MPU the paper's ARM driver configures: eight regions, each a
+//! power-of-two-sized, size-aligned block described by an RBAR/RASR register
+//! pair, with eight independently disableable subregions per region (for
+//! regions of 256 bytes or more). The access-check logic follows the
+//! ARMv7-M Architecture Reference Manual §B3.5.
+
+pub mod mpu;
+
+pub use mpu::{CortexMpu, RegionAttributes, RegionBaseAddress, MIN_REGION_SIZE, NUM_REGIONS};

@@ -1,0 +1,270 @@
+//! Deterministic cycle cost model.
+//!
+//! The paper instruments Tock and TickTock process-abstraction methods with
+//! a CPU cycle counter on the NRF52840 (§6.2, Fig. 11). Our substrate is a
+//! simulator, so we substitute a deterministic cost model: each primitive the
+//! kernel performs charges a fixed cycle cost to a thread-local counter.
+//! Absolute numbers differ from silicon, but the *algorithmic* differences
+//! the paper measures — recomputation, redundant MPU reconfiguration, loops
+//! vs bitwise arithmetic — show up directly.
+//!
+//! Costs approximate a Cortex-M4: single-cycle ALU, 2-cycle loads/stores
+//! (with flash wait states folded in), 2-cycle taken branches, 12-cycle
+//! hardware divide worst case, and slower MMIO writes to the MPU's
+//! peripheral bus.
+
+use std::cell::Cell;
+
+/// Cycle cost of one primitive operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cost {
+    /// Register-to-register ALU op (add, sub, and, shift): 1 cycle.
+    Alu,
+    /// Compare + conditional branch: 2 cycles (pipeline refill).
+    Branch,
+    /// Memory load: 2 cycles.
+    Load,
+    /// Memory store: 2 cycles.
+    Store,
+    /// Integer divide / modulo: 12 cycles (Cortex-M4 worst case).
+    Div,
+    /// MMIO write to a peripheral register (MPU RBAR/RASR, PMP CSRs): 4 cycles.
+    MmioWrite,
+    /// MMIO read from a peripheral register: 3 cycles.
+    MmioRead,
+    /// Function call + return overhead: 4 cycles.
+    Call,
+    /// Exception entry or return (hardware stacking): 12 cycles.
+    Exception,
+    /// Raw cycle count for modelled code not broken into primitives.
+    Raw(u64),
+}
+
+impl Cost {
+    /// Returns the cycle cost of the primitive.
+    pub const fn cycles(self) -> u64 {
+        match self {
+            Cost::Alu => 1,
+            Cost::Branch => 2,
+            Cost::Load => 2,
+            Cost::Store => 2,
+            Cost::Div => 12,
+            Cost::MmioWrite => 4,
+            Cost::MmioRead => 3,
+            Cost::Call => 4,
+            Cost::Exception => 12,
+            Cost::Raw(n) => n,
+        }
+    }
+}
+
+thread_local! {
+    static CYCLES: Cell<u64> = const { Cell::new(0) };
+    static ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Charges one primitive to the thread-local cycle counter.
+#[inline]
+pub fn charge(cost: Cost) {
+    if ENABLED.with(|e| e.get()) {
+        CYCLES.with(|c| c.set(c.get().wrapping_add(cost.cycles())));
+    }
+}
+
+/// Charges `n` repetitions of a primitive.
+#[inline]
+pub fn charge_n(cost: Cost, n: u64) {
+    if ENABLED.with(|e| e.get()) {
+        CYCLES.with(|c| c.set(c.get().wrapping_add(cost.cycles().wrapping_mul(n))));
+    }
+}
+
+/// Returns the current cycle count.
+pub fn now() -> u64 {
+    CYCLES.with(|c| c.get())
+}
+
+/// Resets the counter to zero.
+pub fn reset() {
+    CYCLES.with(|c| c.set(0));
+}
+
+/// Enables or disables accounting (returns the previous state).
+pub fn set_enabled(enabled: bool) -> bool {
+    ENABLED.with(|e| e.replace(enabled))
+}
+
+/// Measures the cycles charged while running `f`.
+///
+/// Nested measurements compose: the inner span's cycles are also part of the
+/// outer span, exactly like reading a hardware cycle counter twice.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = now();
+    let value = f();
+    (value, now() - start)
+}
+
+thread_local! {
+    static METHOD_RECORDS: std::cell::RefCell<Vec<(&'static str, u64)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    static RECORDING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Enables or disables per-method cycle recording (returns previous state).
+///
+/// This is the reproduction of the paper's §6.2 instrumentation: "we
+/// instrumented key methods implemented by the TickTock and Tock process
+/// abstractions to count the number of CPU cycles spent in each".
+pub fn set_recording(enabled: bool) -> bool {
+    RECORDING.with(|r| r.replace(enabled))
+}
+
+/// Records one timed invocation of an instrumented method.
+pub fn record_method(name: &'static str, cycles: u64) {
+    if RECORDING.with(|r| r.get()) {
+        METHOD_RECORDS.with(|m| m.borrow_mut().push((name, cycles)));
+    }
+}
+
+/// Runs `f`, recording its cycle span under `name` when recording is on.
+pub fn instrument<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let (value, span) = measure(f);
+    record_method(name, span);
+    value
+}
+
+/// Drains the per-method records collected on this thread.
+pub fn take_method_records() -> Vec<(&'static str, u64)> {
+    METHOD_RECORDS.with(|m| std::mem::take(&mut *m.borrow_mut()))
+}
+
+/// A running mean over benchmark samples, as the paper reports ("average of
+/// three runs of the 21 tests").
+#[derive(Debug, Clone, Default)]
+pub struct CycleStats {
+    samples: Vec<u64>,
+}
+
+impl CycleStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, cycles: u64) {
+        self.samples.push(cycles);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean cycles across samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Minimum sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        reset();
+        charge(Cost::Alu);
+        charge(Cost::Div);
+        charge_n(Cost::Load, 3);
+        assert_eq!(now(), 1 + 12 + 6);
+        reset();
+        assert_eq!(now(), 0);
+    }
+
+    #[test]
+    fn measure_returns_span() {
+        reset();
+        charge(Cost::Alu);
+        let ((), span) = measure(|| {
+            charge(Cost::MmioWrite);
+            charge(Cost::MmioWrite);
+        });
+        assert_eq!(span, 8);
+        assert_eq!(now(), 9);
+    }
+
+    #[test]
+    fn nested_measures_compose() {
+        reset();
+        let ((), outer) = measure(|| {
+            charge(Cost::Alu);
+            let ((), inner) = measure(|| charge(Cost::Branch));
+            assert_eq!(inner, 2);
+        });
+        assert_eq!(outer, 3);
+    }
+
+    #[test]
+    fn disabled_counter_charges_nothing() {
+        reset();
+        let prev = set_enabled(false);
+        charge(Cost::Exception);
+        set_enabled(prev);
+        assert_eq!(now(), 0);
+    }
+
+    #[test]
+    fn stats_mean_min_max() {
+        let mut s = CycleStats::new();
+        assert_eq!(s.mean(), 0.0);
+        s.record(10);
+        s.record(20);
+        s.record(30);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), 10);
+        assert_eq!(s.max(), 30);
+    }
+
+    #[test]
+    fn raw_cost_passthrough() {
+        assert_eq!(Cost::Raw(17).cycles(), 17);
+    }
+
+    #[test]
+    fn method_recording_captures_instrumented_spans() {
+        reset();
+        let prev = set_recording(true);
+        let v = instrument("brk", || {
+            charge(Cost::Div);
+            42
+        });
+        set_recording(prev);
+        assert_eq!(v, 42);
+        let records = take_method_records();
+        assert_eq!(records, vec![("brk", 12)]);
+        assert!(take_method_records().is_empty());
+    }
+
+    #[test]
+    fn recording_disabled_by_default() {
+        reset();
+        instrument("x", || charge(Cost::Alu));
+        assert!(take_method_records().is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Bit-accurate hardware substrate for the TickTock reproduction.
+//!
+//! The paper runs on real silicon (NRF52840dk) and QEMU; this crate is the
+//! substitute substrate: a byte-addressed physical memory ([`mem`]), the
+//! ARMv7-M MPU ([`cortexm`]) and RISC-V PMP ([`riscv`]) protection models,
+//! typed MMIO register fields ([`registers`]), refined pointers ([`addr`]),
+//! the shared permission vocabulary ([`perms`]), chip profiles
+//! ([`platform`]), and a deterministic cycle cost model ([`cycles`]) that
+//! stands in for the paper's hardware cycle counters.
+//!
+//! Isolation — the property the whole artifact is about — is a statement
+//! over this crate: with the kernel's configuration loaded, the
+//! [`mem::ProtectionUnit`] admits an unprivileged access *iff* it falls in
+//! the process's own code or RAM regions.
+
+pub mod addr;
+pub mod cortexm;
+pub mod cycles;
+pub mod mem;
+pub mod perms;
+pub mod platform;
+pub mod registers;
+pub mod riscv;
+
+pub use addr::{AddrRange, PtrU8};
+pub use mem::{
+    AccessDecision, AccessType, Bus, FaultKind, PhysicalMemory, Privilege, ProtectionUnit,
+};
+pub use perms::Permissions;

@@ -1,0 +1,492 @@
+//! The simulated physical address space: flash, RAM, and a protected bus.
+//!
+//! This is the substrate standing in for real silicon. The kernel sees a
+//! [`PhysicalMemory`] it can always access (the MPU is disabled during
+//! kernel execution, §2.1); user-mode accesses instead go through a
+//! [`Bus`], which consults a [`ProtectionUnit`] — the Cortex-M MPU or
+//! RISC-V PMP model — and faults exactly where hardware would.
+
+use crate::addr::AddrRange;
+use std::fmt;
+
+/// The kind of memory access being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+/// The privilege level of the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Privilege {
+    /// Kernel / machine mode.
+    Privileged,
+    /// User / unprivileged mode.
+    Unprivileged,
+}
+
+/// Why an access was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No protection region matched an unprivileged access.
+    NoRegionMatch,
+    /// A region matched but its permissions forbid the access type.
+    PermissionDenied,
+    /// The address is outside the modelled address space entirely.
+    Unmapped,
+    /// A region matched but the covering subregion is disabled.
+    SubregionDisabled,
+    /// A locked PMP entry forbids even machine-mode access.
+    LockedEntry,
+}
+
+/// The outcome of a protection check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Hardware admits the access.
+    Allowed,
+    /// Hardware raises a memory-management / access fault.
+    Fault(FaultKind),
+}
+
+impl AccessDecision {
+    /// Returns `true` if the access is admitted.
+    pub fn allowed(&self) -> bool {
+        matches!(self, AccessDecision::Allowed)
+    }
+}
+
+/// A hardware memory-protection unit: Cortex-M MPU or RISC-V PMP.
+///
+/// The isolation property the paper verifies is a statement about this
+/// trait's `check` method: with the kernel's configuration loaded, an
+/// unprivileged access is allowed *iff* it falls in the process's own
+/// flash (read/execute) or RAM (read/write) regions.
+pub trait ProtectionUnit {
+    /// Decides whether hardware admits the access.
+    fn check(
+        &self,
+        addr: usize,
+        size: usize,
+        access: AccessType,
+        priv_: Privilege,
+    ) -> AccessDecision;
+
+    /// Returns `true` if protection is currently enabled.
+    fn enabled(&self) -> bool;
+
+    /// Human-readable unit name for fault reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The memory map of a chip: where flash and RAM live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// Flash (code) range.
+    pub flash: AddrRange,
+    /// RAM range.
+    pub ram: AddrRange,
+}
+
+impl MemoryMap {
+    /// Classifies an address.
+    pub fn classify(&self, addr: usize) -> Option<Segment> {
+        if self.flash.contains(addr) {
+            Some(Segment::Flash)
+        } else if self.ram.contains(addr) {
+            Some(Segment::Ram)
+        } else {
+            None
+        }
+    }
+}
+
+/// Which backing segment an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Flash segment.
+    Flash,
+    /// RAM segment.
+    Ram,
+}
+
+/// The simulated physical memory of a chip.
+pub struct PhysicalMemory {
+    map: MemoryMap,
+    flash: Vec<u8>,
+    ram: Vec<u8>,
+}
+
+impl fmt::Debug for PhysicalMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalMemory")
+            .field("map", &self.map)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Error raised by raw memory accesses that miss the address map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnmappedAccess {
+    /// Offending address.
+    pub addr: usize,
+    /// Size in bytes.
+    pub size: usize,
+}
+
+impl fmt::Display for UnmappedAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unmapped access at {:#010x} ({} bytes)",
+            self.addr, self.size
+        )
+    }
+}
+
+impl std::error::Error for UnmappedAccess {}
+
+impl PhysicalMemory {
+    /// Creates zeroed memory for the given map.
+    pub fn new(map: MemoryMap) -> Self {
+        Self {
+            map,
+            flash: vec![0; map.flash.len()],
+            ram: vec![0; map.ram.len()],
+        }
+    }
+
+    /// Returns the memory map.
+    pub fn map(&self) -> MemoryMap {
+        self.map
+    }
+
+    fn slot(&self, addr: usize, size: usize) -> Result<(Segment, usize), UnmappedAccess> {
+        let end = addr
+            .checked_add(size)
+            .ok_or(UnmappedAccess { addr, size })?;
+        if addr >= self.map.flash.start && end <= self.map.flash.end {
+            Ok((Segment::Flash, addr - self.map.flash.start))
+        } else if addr >= self.map.ram.start && end <= self.map.ram.end {
+            Ok((Segment::Ram, addr - self.map.ram.start))
+        } else {
+            Err(UnmappedAccess { addr, size })
+        }
+    }
+
+    /// Reads one byte (privileged view: never faults on protection).
+    pub fn read_u8(&self, addr: usize) -> Result<u8, UnmappedAccess> {
+        let (seg, off) = self.slot(addr, 1)?;
+        Ok(match seg {
+            Segment::Flash => self.flash[off],
+            Segment::Ram => self.ram[off],
+        })
+    }
+
+    /// Writes one byte. Flash writes are rejected (it is not writable at
+    /// run time on the modelled chips).
+    pub fn write_u8(&mut self, addr: usize, value: u8) -> Result<(), UnmappedAccess> {
+        let (seg, off) = self.slot(addr, 1)?;
+        match seg {
+            Segment::Flash => Err(UnmappedAccess { addr, size: 1 }),
+            Segment::Ram => {
+                self.ram[off] = value;
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: usize) -> Result<u32, UnmappedAccess> {
+        let (seg, off) = self.slot(addr, 4)?;
+        let bytes = match seg {
+            Segment::Flash => &self.flash[off..off + 4],
+            Segment::Ram => &self.ram[off..off + 4],
+        };
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// Writes a little-endian `u32` to RAM.
+    pub fn write_u32(&mut self, addr: usize, value: u32) -> Result<(), UnmappedAccess> {
+        let (seg, off) = self.slot(addr, 4)?;
+        match seg {
+            Segment::Flash => Err(UnmappedAccess { addr, size: 4 }),
+            Segment::Ram => {
+                self.ram[off..off + 4].copy_from_slice(&value.to_le_bytes());
+                Ok(())
+            }
+        }
+    }
+
+    /// Programs flash contents (a load-time operation, e.g. flashing an app
+    /// image; not reachable from simulated user code).
+    pub fn program_flash(&mut self, addr: usize, data: &[u8]) -> Result<(), UnmappedAccess> {
+        let (seg, off) = self.slot(addr, data.len())?;
+        match seg {
+            Segment::Flash => {
+                self.flash[off..off + data.len()].copy_from_slice(data);
+                Ok(())
+            }
+            Segment::Ram => Err(UnmappedAccess {
+                addr,
+                size: data.len(),
+            }),
+        }
+    }
+
+    /// Copies bytes out of memory (privileged view).
+    pub fn read_bytes(&self, addr: usize, buf: &mut [u8]) -> Result<(), UnmappedAccess> {
+        let (seg, off) = self.slot(addr, buf.len())?;
+        let src = match seg {
+            Segment::Flash => &self.flash[off..off + buf.len()],
+            Segment::Ram => &self.ram[off..off + buf.len()],
+        };
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Writes bytes into RAM (privileged view).
+    pub fn write_bytes(&mut self, addr: usize, data: &[u8]) -> Result<(), UnmappedAccess> {
+        let (seg, off) = self.slot(addr, data.len())?;
+        match seg {
+            Segment::Flash => Err(UnmappedAccess {
+                addr,
+                size: data.len(),
+            }),
+            Segment::Ram => {
+                self.ram[off..off + data.len()].copy_from_slice(data);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A memory access that went through the protected bus and faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFault {
+    /// Offending address.
+    pub addr: usize,
+    /// Access type attempted.
+    pub access: AccessType,
+    /// Fault cause.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus fault: {:?} at {:#010x} ({:?})",
+            self.access, self.addr, self.kind
+        )
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// The protected bus: every access is checked against a protection unit
+/// before touching memory, exactly as the AHB matrix consults the MPU.
+pub struct Bus<'a, P: ProtectionUnit> {
+    /// Backing memory.
+    pub mem: &'a mut PhysicalMemory,
+    /// Protection hardware in effect.
+    pub protection: &'a P,
+    /// Current privilege of the bus master.
+    pub privilege: Privilege,
+}
+
+impl<'a, P: ProtectionUnit> Bus<'a, P> {
+    /// Creates a bus view with the given privilege.
+    pub fn new(mem: &'a mut PhysicalMemory, protection: &'a P, privilege: Privilege) -> Self {
+        Self {
+            mem,
+            protection,
+            privilege,
+        }
+    }
+
+    fn check(&self, addr: usize, size: usize, access: AccessType) -> Result<(), BusFault> {
+        match self.protection.check(addr, size, access, self.privilege) {
+            AccessDecision::Allowed => Ok(()),
+            AccessDecision::Fault(kind) => Err(BusFault { addr, access, kind }),
+        }
+    }
+
+    /// Checked byte read.
+    pub fn read_u8(&self, addr: usize) -> Result<u8, BusFault> {
+        self.check(addr, 1, AccessType::Read)?;
+        self.mem.read_u8(addr).map_err(|_| BusFault {
+            addr,
+            access: AccessType::Read,
+            kind: FaultKind::Unmapped,
+        })
+    }
+
+    /// Checked byte write.
+    pub fn write_u8(&mut self, addr: usize, value: u8) -> Result<(), BusFault> {
+        self.check(addr, 1, AccessType::Write)?;
+        self.mem.write_u8(addr, value).map_err(|_| BusFault {
+            addr,
+            access: AccessType::Write,
+            kind: FaultKind::Unmapped,
+        })
+    }
+
+    /// Checked word read.
+    pub fn read_u32(&self, addr: usize) -> Result<u32, BusFault> {
+        self.check(addr, 4, AccessType::Read)?;
+        self.mem.read_u32(addr).map_err(|_| BusFault {
+            addr,
+            access: AccessType::Read,
+            kind: FaultKind::Unmapped,
+        })
+    }
+
+    /// Checked word write.
+    pub fn write_u32(&mut self, addr: usize, value: u32) -> Result<(), BusFault> {
+        self.check(addr, 4, AccessType::Write)?;
+        self.mem.write_u32(addr, value).map_err(|_| BusFault {
+            addr,
+            access: AccessType::Write,
+            kind: FaultKind::Unmapped,
+        })
+    }
+
+    /// Checked instruction fetch.
+    pub fn fetch(&self, addr: usize) -> Result<u32, BusFault> {
+        self.check(addr, 4, AccessType::Execute)?;
+        self.mem.read_u32(addr).map_err(|_| BusFault {
+            addr,
+            access: AccessType::Execute,
+            kind: FaultKind::Unmapped,
+        })
+    }
+}
+
+/// A protection unit that admits everything — the state of the world while
+/// the MPU is disabled (kernel execution).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProtection;
+
+impl ProtectionUnit for NoProtection {
+    fn check(&self, _: usize, _: usize, _: AccessType, _: Privilege) -> AccessDecision {
+        AccessDecision::Allowed
+    }
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_map() -> MemoryMap {
+        MemoryMap {
+            flash: AddrRange::new(0x0000_0000, 0x0010_0000),
+            ram: AddrRange::new(0x2000_0000, 0x2004_0000),
+        }
+    }
+
+    #[test]
+    fn ram_read_write_roundtrip() {
+        let mut mem = PhysicalMemory::new(test_map());
+        mem.write_u32(0x2000_0100, 0xDEAD_BEEF).unwrap();
+        assert_eq!(mem.read_u32(0x2000_0100).unwrap(), 0xDEAD_BEEF);
+        mem.write_u8(0x2000_0100, 0x42).unwrap();
+        assert_eq!(mem.read_u32(0x2000_0100).unwrap(), 0xDEAD_BE42);
+    }
+
+    #[test]
+    fn flash_is_programmable_but_not_writable() {
+        let mut mem = PhysicalMemory::new(test_map());
+        mem.program_flash(0x1000, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(mem.read_u32(0x1000).unwrap(), 0x0403_0201);
+        assert!(mem.write_u8(0x1000, 9).is_err());
+        assert!(mem.write_u32(0x1000, 9).is_err());
+    }
+
+    #[test]
+    fn unmapped_accesses_error() {
+        let mem = PhysicalMemory::new(test_map());
+        assert!(mem.read_u8(0x1000_0000).is_err());
+        assert!(mem.read_u32(0x2004_0000 - 2).is_err()); // Straddles end.
+        assert!(mem.read_u32(usize::MAX - 1).is_err()); // Overflow guarded.
+    }
+
+    #[test]
+    fn byte_range_helpers() {
+        let mut mem = PhysicalMemory::new(test_map());
+        mem.write_bytes(0x2000_0000, &[9, 8, 7]).unwrap();
+        let mut buf = [0u8; 3];
+        mem.read_bytes(0x2000_0000, &mut buf).unwrap();
+        assert_eq!(buf, [9, 8, 7]);
+        assert!(mem.write_bytes(0x0, &[1]).is_err()); // Flash not writable.
+        assert!(mem.program_flash(0x2000_0000, &[1]).is_err()); // RAM not flash.
+    }
+
+    #[test]
+    fn classify_addresses() {
+        let map = test_map();
+        assert_eq!(map.classify(0x100), Some(Segment::Flash));
+        assert_eq!(map.classify(0x2000_0000), Some(Segment::Ram));
+        assert_eq!(map.classify(0x5000_0000), None);
+    }
+
+    #[test]
+    fn bus_with_no_protection_passes_through() {
+        let mut mem = PhysicalMemory::new(test_map());
+        let prot = NoProtection;
+        let mut bus = Bus::new(&mut mem, &prot, Privilege::Unprivileged);
+        bus.write_u32(0x2000_0010, 7).unwrap();
+        assert_eq!(bus.read_u32(0x2000_0010).unwrap(), 7);
+        assert_eq!(bus.fetch(0x0).unwrap(), 0);
+    }
+
+    #[test]
+    fn bus_surfaces_unmapped_as_fault() {
+        let mut mem = PhysicalMemory::new(test_map());
+        let prot = NoProtection;
+        let bus = Bus::new(&mut mem, &prot, Privilege::Privileged);
+        let err = bus.read_u8(0x9000_0000).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unmapped);
+    }
+
+    /// A protection unit denying all writes, for bus fault plumbing tests.
+    struct DenyWrites;
+    impl ProtectionUnit for DenyWrites {
+        fn check(&self, _: usize, _: usize, a: AccessType, _: Privilege) -> AccessDecision {
+            if a == AccessType::Write {
+                AccessDecision::Fault(FaultKind::PermissionDenied)
+            } else {
+                AccessDecision::Allowed
+            }
+        }
+        fn enabled(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "deny-writes"
+        }
+    }
+
+    #[test]
+    fn bus_consults_protection_before_memory() {
+        let mut mem = PhysicalMemory::new(test_map());
+        mem.write_u32(0x2000_0000, 5).unwrap();
+        let prot = DenyWrites;
+        let mut bus = Bus::new(&mut mem, &prot, Privilege::Unprivileged);
+        assert_eq!(bus.read_u32(0x2000_0000).unwrap(), 5);
+        let err = bus.write_u32(0x2000_0000, 6).unwrap_err();
+        assert_eq!(err.kind, FaultKind::PermissionDenied);
+        // The memory was not modified by the faulting write.
+        assert_eq!(bus.read_u32(0x2000_0000).unwrap(), 5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Logical access permissions, shared by the kernel and all MPU drivers.
+//!
+//! Mirrors Tock's `kernel::platform::mpu::Permissions`: the architecture-
+//! independent vocabulary in which the kernel states what a process may do
+//! with a region. Each driver encodes these into hardware bits (AP/XN on
+//! Cortex-M, R/W/X on PMP) — the encoding is part of what §4.4 verifies.
+
+use crate::mem::AccessType;
+
+/// Architecture-independent region permissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Permissions {
+    /// Read, write and execute.
+    ReadWriteExecute,
+    /// Read and write (process RAM).
+    ReadWriteOnly,
+    /// Read and execute (process code in flash).
+    ReadExecuteOnly,
+    /// Read only.
+    ReadOnly,
+    /// Execute only.
+    ExecuteOnly,
+}
+
+impl Permissions {
+    /// Returns `true` if the permission set admits the access type.
+    pub fn allows(self, access: AccessType) -> bool {
+        match access {
+            AccessType::Read => matches!(
+                self,
+                Permissions::ReadWriteExecute
+                    | Permissions::ReadWriteOnly
+                    | Permissions::ReadExecuteOnly
+                    | Permissions::ReadOnly
+            ),
+            AccessType::Write => matches!(
+                self,
+                Permissions::ReadWriteExecute | Permissions::ReadWriteOnly
+            ),
+            AccessType::Execute => matches!(
+                self,
+                Permissions::ReadWriteExecute
+                    | Permissions::ReadExecuteOnly
+                    | Permissions::ExecuteOnly
+            ),
+        }
+    }
+
+    /// All permission values, for exhaustive driver-encoding checks.
+    pub const ALL: [Permissions; 5] = [
+        Permissions::ReadWriteExecute,
+        Permissions::ReadWriteOnly,
+        Permissions::ReadExecuteOnly,
+        Permissions::ReadOnly,
+        Permissions::ExecuteOnly,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_truth_table() {
+        use AccessType::*;
+        use Permissions::*;
+        let table: [(Permissions, bool, bool, bool); 5] = [
+            (ReadWriteExecute, true, true, true),
+            (ReadWriteOnly, true, true, false),
+            (ReadExecuteOnly, true, false, true),
+            (ReadOnly, true, false, false),
+            (ExecuteOnly, false, false, true),
+        ];
+        for (p, r, w, x) in table {
+            assert_eq!(p.allows(Read), r, "{p:?} read");
+            assert_eq!(p.allows(Write), w, "{p:?} write");
+            assert_eq!(p.allows(Execute), x, "{p:?} execute");
+        }
+    }
+
+    #[test]
+    fn all_lists_every_variant() {
+        assert_eq!(Permissions::ALL.len(), 5);
+    }
+}

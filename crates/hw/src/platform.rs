@@ -1,0 +1,265 @@
+//! Chip profiles: the boards the paper runs TickTock on.
+//!
+//! §6 evaluates on a Nordic NRF52840dk (ARMv7-M) and, under QEMU, the
+//! RISC-V chips Tock supports. Each profile bundles the memory map and the
+//! protection hardware the kernel must drive.
+
+use crate::addr::AddrRange;
+use crate::cortexm::CortexMpu;
+use crate::mem::{MemoryMap, PhysicalMemory};
+use crate::riscv::{PmpChip, RiscvPmp};
+
+/// The protection architecture of a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// ARMv7-M with the 8-region MPU.
+    CortexM,
+    /// RISC-V RV32 with PMP.
+    Riscv32(PmpChip),
+}
+
+/// A chip profile: name, memory map, protection architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipProfile {
+    /// Board/chip name.
+    pub name: &'static str,
+    /// Protection architecture.
+    pub arch: Arch,
+    /// Flash and RAM ranges.
+    pub map: MemoryMap,
+}
+
+impl ChipProfile {
+    /// Creates the zeroed physical memory for this chip.
+    pub fn memory(&self) -> PhysicalMemory {
+        PhysicalMemory::new(self.map)
+    }
+}
+
+/// Nordic NRF52840dk: 1 MiB flash, 256 KiB RAM, Cortex-M4 MPU.
+pub const NRF52840DK: ChipProfile = ChipProfile {
+    name: "nrf52840dk",
+    arch: Arch::CortexM,
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x0000_0000,
+            end: 0x0010_0000,
+        },
+        ram: AddrRange {
+            start: 0x2000_0000,
+            end: 0x2004_0000,
+        },
+    },
+};
+
+/// SiFive HiFive1 rev B (FE310-G002): XIP flash at 0x2000_0000, 16 KiB DTIM.
+pub const HIFIVE1: ChipProfile = ChipProfile {
+    name: "hifive1",
+    arch: Arch::Riscv32(PmpChip::SifiveE310),
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x2000_0000,
+            end: 0x2040_0000,
+        },
+        ram: AddrRange {
+            start: 0x8000_0000,
+            end: 0x8000_4000,
+        },
+    },
+};
+
+/// Espressif ESP32-C3: 4 MiB flash mapping, 400 KiB SRAM.
+pub const ESP32_C3: ChipProfile = ChipProfile {
+    name: "esp32-c3",
+    arch: Arch::Riscv32(PmpChip::Esp32C3),
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x4200_0000,
+            end: 0x4240_0000,
+        },
+        ram: AddrRange {
+            start: 0x3FC8_0000,
+            end: 0x3FCE_4000,
+        },
+    },
+};
+
+/// lowRISC OpenTitan Earl Grey (Ibex): 1 MiB eFlash, 128 KiB SRAM.
+pub const EARLGREY: ChipProfile = ChipProfile {
+    name: "earlgrey",
+    arch: Arch::Riscv32(PmpChip::IbexEarlGrey),
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x2000_0000,
+            end: 0x2010_0000,
+        },
+        ram: AddrRange {
+            start: 0x1000_0000,
+            end: 0x1002_0000,
+        },
+    },
+};
+
+/// Atmel SAM4L (Hail / Imix boards): 512 KiB flash, 64 KiB RAM, Cortex-M4.
+pub const SAM4L: ChipProfile = ChipProfile {
+    name: "sam4l",
+    arch: Arch::CortexM,
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x0000_0000,
+            end: 0x0008_0000,
+        },
+        ram: AddrRange {
+            start: 0x2000_0000,
+            end: 0x2001_0000,
+        },
+    },
+};
+
+/// ST Nucleo STM32F446RE: 512 KiB flash at 0x0800_0000, 128 KiB RAM.
+pub const STM32F446RE: ChipProfile = ChipProfile {
+    name: "stm32f446re",
+    arch: Arch::CortexM,
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x0800_0000,
+            end: 0x0808_0000,
+        },
+        ram: AddrRange {
+            start: 0x2000_0000,
+            end: 0x2002_0000,
+        },
+    },
+};
+
+/// SparkFun RedBoard Artemis (Ambiq Apollo3): 1 MiB flash, 384 KiB RAM.
+pub const APOLLO3: ChipProfile = ChipProfile {
+    name: "apollo3",
+    arch: Arch::CortexM,
+    map: MemoryMap {
+        flash: AddrRange {
+            start: 0x0000_0000,
+            end: 0x0010_0000,
+        },
+        ram: AddrRange {
+            start: 0x1000_0000,
+            end: 0x1006_0000,
+        },
+    },
+};
+
+/// Every profile the reproduction supports: four ARMv7-M boards (the
+/// paper verifies "all ARMv7-M architectures Tock supports") and the
+/// three RISC-V 32-bit chips.
+pub const ALL_CHIPS: [ChipProfile; 7] = [
+    NRF52840DK,
+    SAM4L,
+    STM32F446RE,
+    APOLLO3,
+    HIFIVE1,
+    ESP32_C3,
+    EARLGREY,
+];
+
+/// The protection unit of a chip, unified over architectures.
+#[derive(Debug, Clone)]
+pub enum Protection {
+    /// Cortex-M MPU instance.
+    Mpu(CortexMpu),
+    /// RISC-V PMP instance.
+    Pmp(RiscvPmp),
+}
+
+impl Protection {
+    /// Creates the reset-state protection unit for a profile.
+    pub fn for_chip(profile: &ChipProfile) -> Self {
+        match profile.arch {
+            Arch::CortexM => Protection::Mpu(CortexMpu::new()),
+            Arch::Riscv32(chip) => Protection::Pmp(RiscvPmp::new(chip)),
+        }
+    }
+}
+
+impl crate::mem::ProtectionUnit for Protection {
+    fn check(
+        &self,
+        addr: usize,
+        size: usize,
+        access: crate::mem::AccessType,
+        priv_: crate::mem::Privilege,
+    ) -> crate::mem::AccessDecision {
+        match self {
+            Protection::Mpu(m) => m.check(addr, size, access, priv_),
+            Protection::Pmp(p) => p.check(addr, size, access, priv_),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        match self {
+            Protection::Mpu(m) => m.enabled(),
+            Protection::Pmp(p) => p.enabled(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Protection::Mpu(m) => m.name(),
+            Protection::Pmp(p) => p.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{AccessType, Privilege, ProtectionUnit};
+
+    #[test]
+    fn all_chips_have_disjoint_flash_and_ram() {
+        for chip in ALL_CHIPS {
+            assert!(
+                !chip.map.flash.overlaps(&chip.map.ram),
+                "{}: flash/RAM overlap",
+                chip.name
+            );
+            assert!(chip.map.flash.len() >= 64 * 1024);
+            assert!(chip.map.ram.len() >= 16 * 1024);
+        }
+    }
+
+    #[test]
+    fn memory_matches_profile_map() {
+        for chip in ALL_CHIPS {
+            let mem = chip.memory();
+            assert_eq!(mem.map(), chip.map);
+            // RAM start is readable, one past RAM end is not.
+            assert!(mem.read_u8(chip.map.ram.start).is_ok());
+            assert!(mem.read_u8(chip.map.ram.end).is_err());
+        }
+    }
+
+    #[test]
+    fn protection_unit_matches_arch() {
+        for chip in ALL_CHIPS {
+            let p = Protection::for_chip(&chip);
+            match (chip.arch, &p) {
+                (Arch::CortexM, Protection::Mpu(_)) => {}
+                (Arch::Riscv32(_), Protection::Pmp(_)) => {}
+                _ => panic!("{}: wrong protection unit", chip.name),
+            }
+        }
+    }
+
+    #[test]
+    fn reset_protection_denies_user_ram_on_riscv() {
+        let p = Protection::for_chip(&HIFIVE1);
+        assert!(!p
+            .check(
+                HIFIVE1.map.ram.start,
+                4,
+                AccessType::Read,
+                Privilege::Unprivileged
+            )
+            .allowed());
+    }
+}

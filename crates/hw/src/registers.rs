@@ -1,0 +1,326 @@
+//! MMIO register field abstraction, in the style of `tock-registers`.
+//!
+//! The paper's MPU drivers manipulate hardware registers through typed field
+//! values (`FieldValueU32<RegionBaseAddress::Register>`). We reproduce the
+//! core of that abstraction: a [`Field`] names a contiguous bit range of a
+//! 32-bit register, a [`FieldValue`] is a (mask, value) pair ready to be
+//! OR-combined, and [`RegisterU32`] is a register copy the driver reads and
+//! writes.
+//!
+//! The bit-twiddling here is exactly the code §4.4 verifies: "the bits of
+//! the rbar (base address) and rasr registers are flipped to precisely match
+//! the logical values that the kernel tracks".
+
+use std::marker::PhantomData;
+use std::ops::Add;
+
+/// Marker trait tying fields to a specific hardware register type.
+pub trait RegisterLongName: 'static {}
+
+/// Generic register name for untyped use.
+#[derive(Debug)]
+pub enum Generic {}
+impl RegisterLongName for Generic {}
+
+/// A contiguous bit field of a 32-bit register.
+#[derive(Debug)]
+pub struct Field<R: RegisterLongName = Generic> {
+    /// Unshifted mask (e.g. `0x1F` for a 5-bit field).
+    pub mask: u32,
+    /// Bit offset of the field's least significant bit.
+    pub shift: u32,
+    _reg: PhantomData<R>,
+}
+
+// Manual impls: `derive` would bound `R: Copy` unnecessarily.
+impl<R: RegisterLongName> Clone for Field<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R: RegisterLongName> Copy for Field<R> {}
+
+impl<R: RegisterLongName> Field<R> {
+    /// Creates a field from an unshifted mask and a shift.
+    pub const fn new(mask: u32, shift: u32) -> Self {
+        Self {
+            mask,
+            shift,
+            _reg: PhantomData,
+        }
+    }
+
+    /// Extracts this field's value from a full register value.
+    pub const fn read(&self, register: u32) -> u32 {
+        (register >> self.shift) & self.mask
+    }
+
+    /// Returns `true` if the field is non-zero in `register`.
+    pub const fn is_set(&self, register: u32) -> bool {
+        self.read(register) != 0
+    }
+
+    /// Builds a [`FieldValue`] setting this field to `value` (truncated to
+    /// the field width, as hardware would).
+    pub const fn val(&self, value: u32) -> FieldValue<R> {
+        FieldValue {
+            mask: self.mask << self.shift,
+            value: (value & self.mask) << self.shift,
+            _reg: PhantomData,
+        }
+    }
+}
+
+/// A (mask, value) pair describing a write to one or more fields.
+#[derive(Debug)]
+pub struct FieldValue<R: RegisterLongName = Generic> {
+    /// Shifted mask of all touched bits.
+    pub mask: u32,
+    /// Shifted value bits (within `mask`).
+    pub value: u32,
+    _reg: PhantomData<R>,
+}
+
+impl<R: RegisterLongName> Clone for FieldValue<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R: RegisterLongName> Copy for FieldValue<R> {}
+
+impl<R: RegisterLongName> FieldValue<R> {
+    /// A field value touching no bits.
+    pub const fn empty() -> Self {
+        Self {
+            mask: 0,
+            value: 0,
+            _reg: PhantomData,
+        }
+    }
+
+    /// Creates a raw (mask, value) pair.
+    pub const fn raw(mask: u32, value: u32) -> Self {
+        Self {
+            mask,
+            value: value & mask,
+            _reg: PhantomData,
+        }
+    }
+
+    /// Returns the raw register bits this value would write.
+    pub const fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Applies this field value over `register`, preserving untouched bits.
+    pub const fn modify(&self, register: u32) -> u32 {
+        (register & !self.mask) | self.value
+    }
+
+    /// Reads a field back out of this value.
+    pub const fn read(&self, field: Field<R>) -> u32 {
+        field.read(self.value)
+    }
+
+    /// Returns `true` if all of `other`'s value bits are set here.
+    pub const fn matches_all(&self, other: FieldValue<R>) -> bool {
+        self.value & other.mask == other.value
+    }
+}
+
+impl<R: RegisterLongName> Add for FieldValue<R> {
+    type Output = FieldValue<R>;
+    /// Combines two field values (later fields win on overlap, like
+    /// tock-registers' `+`).
+    fn add(self, rhs: FieldValue<R>) -> FieldValue<R> {
+        FieldValue {
+            mask: self.mask | rhs.mask,
+            value: (self.value & !rhs.mask) | rhs.value,
+            _reg: PhantomData,
+        }
+    }
+}
+
+impl<R: RegisterLongName> Default for FieldValue<R> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<R: RegisterLongName> PartialEq for FieldValue<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.mask == other.mask && self.value == other.value
+    }
+}
+impl<R: RegisterLongName> Eq for FieldValue<R> {}
+
+/// A local copy of a 32-bit register (read-modify-write staging).
+#[derive(Debug)]
+pub struct RegisterU32<R: RegisterLongName = Generic> {
+    value: u32,
+    _reg: PhantomData<R>,
+}
+
+impl<R: RegisterLongName> Clone for RegisterU32<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R: RegisterLongName> Copy for RegisterU32<R> {}
+
+impl<R: RegisterLongName> RegisterU32<R> {
+    /// Creates a register copy holding `value`.
+    pub const fn new(value: u32) -> Self {
+        Self {
+            value,
+            _reg: PhantomData,
+        }
+    }
+
+    /// Returns the raw 32-bit value.
+    pub const fn get(&self) -> u32 {
+        self.value
+    }
+
+    /// Overwrites the whole register.
+    pub fn set(&mut self, value: u32) {
+        self.value = value;
+    }
+
+    /// Reads one field.
+    pub const fn read(&self, field: Field<R>) -> u32 {
+        field.read(self.value)
+    }
+
+    /// Returns `true` if the field is non-zero.
+    pub const fn is_set(&self, field: Field<R>) -> bool {
+        field.is_set(self.value)
+    }
+
+    /// Writes the given field values, zeroing all other bits.
+    pub fn write(&mut self, fv: FieldValue<R>) {
+        self.value = fv.value;
+    }
+
+    /// Read-modify-writes the given field values.
+    pub fn modify(&mut self, fv: FieldValue<R>) {
+        self.value = fv.modify(self.value);
+    }
+}
+
+impl<R: RegisterLongName> Default for RegisterU32<R> {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Declares a register layout: a module with typed [`Field`] constants.
+///
+/// # Examples
+///
+/// ```
+/// tt_hw::register_bitfields! { RegionAttributes:
+///     ENABLE(0x1, 0),
+///     SIZE(0x1F, 1),
+///     SRD(0xFF, 8)
+/// }
+/// let rasr = RegionAttributes::SIZE.val(9) + RegionAttributes::ENABLE.val(1);
+/// assert_eq!(rasr.value(), (9 << 1) | 1);
+/// ```
+#[macro_export]
+macro_rules! register_bitfields {
+    ($name:ident: $($(#[$meta:meta])* $field:ident($mask:expr, $shift:expr)),+ $(,)?) => {
+        #[allow(non_snake_case, missing_docs)]
+        pub mod $name {
+            /// The register's long-name marker type.
+            #[derive(Debug)]
+            pub enum Register {}
+            impl $crate::registers::RegisterLongName for Register {}
+            $(
+                $(#[$meta])*
+                pub const $field: $crate::registers::Field<Register> =
+                    $crate::registers::Field::new($mask, $shift);
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    crate::register_bitfields! { Test:
+        ENABLE(0x1, 0),
+        SIZE(0x1F, 1),
+        SRD(0xFF, 8),
+        AP(0x7, 24)
+    }
+
+    #[test]
+    fn field_read_extracts_bits() {
+        let reg = (0b10101 << 1) | 1;
+        assert_eq!(Test::AP.read(0x0300_0000), 3);
+        assert_eq!(Test::SIZE.read(reg), 0b10101);
+        assert_eq!(Test::ENABLE.read(reg), 1);
+        assert!(Test::ENABLE.is_set(reg));
+        assert!(!Test::SRD.is_set(reg));
+    }
+
+    #[test]
+    fn field_val_truncates_to_width() {
+        let fv = Test::SIZE.val(0xFFFF_FFFF);
+        assert_eq!(fv.value(), 0x1F << 1);
+    }
+
+    #[test]
+    fn field_values_combine_with_add() {
+        let fv = Test::SIZE.val(9) + Test::SRD.val(0b1110_0000) + Test::ENABLE.val(1);
+        assert_eq!(fv.value(), (9 << 1) | (0b1110_0000 << 8) | 1);
+        assert_eq!(fv.read(Test::SRD), 0b1110_0000);
+    }
+
+    #[test]
+    fn later_field_wins_on_overlap() {
+        let fv = Test::SIZE.val(0x1F) + Test::SIZE.val(3);
+        assert_eq!(fv.read(Test::SIZE), 3);
+    }
+
+    #[test]
+    fn modify_preserves_untouched_bits() {
+        let mut r = RegisterU32::<Test::Register>::new(0);
+        r.write(Test::SIZE.val(7) + Test::ENABLE.val(1));
+        r.modify(Test::SRD.val(0xAA));
+        assert_eq!(r.read(Test::SIZE), 7);
+        assert_eq!(r.read(Test::ENABLE), 1);
+        assert_eq!(r.read(Test::SRD), 0xAA);
+        r.modify(Test::ENABLE.val(0));
+        assert_eq!(r.read(Test::ENABLE), 0);
+        assert_eq!(r.read(Test::SIZE), 7);
+    }
+
+    #[test]
+    fn write_zeroes_other_bits() {
+        let mut r = RegisterU32::<Test::Register>::new(0xFFFF_FFFF);
+        r.write(Test::ENABLE.val(1));
+        assert_eq!(r.get(), 1);
+    }
+
+    #[test]
+    fn matches_all_checks_subset() {
+        let fv = Test::SIZE.val(9) + Test::ENABLE.val(1);
+        assert!(fv.matches_all(Test::ENABLE.val(1)));
+        assert!(fv.matches_all(Test::SIZE.val(9)));
+        assert!(!fv.matches_all(Test::SIZE.val(8)));
+    }
+
+    #[test]
+    fn exhaustive_field_roundtrip() {
+        // For every 5-bit value, val() then read() is the identity.
+        for v in 0u32..32 {
+            assert_eq!(Test::SIZE.val(v).read(Test::SIZE), v);
+        }
+        for v in 0u32..256 {
+            assert_eq!(Test::SRD.val(v).read(Test::SRD), v);
+        }
+    }
+}

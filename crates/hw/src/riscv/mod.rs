@@ -1,0 +1,9 @@
+//! RISC-V physical memory protection (PMP), priv. spec v1.12 §3.7.
+//!
+//! Models the PMP unit the paper's RISC-V driver configures, for the three
+//! 32-bit chips TickTock verifies: SiFive E310 (HiFive1), Espressif
+//! ESP32-C3, and the lowRISC Ibex core in OpenTitan Earl Grey.
+
+pub mod pmp;
+
+pub use pmp::{AddressMode, PmpChip, PmpEntry, RiscvPmp};

@@ -1,0 +1,538 @@
+//! The 21 release-test applications (§6.1).
+//!
+//! The paper runs a subset of Tock's release-test suite on both kernels
+//! and diffs the outputs: 21 apps, of which 5 differ *expectedly* —
+//! "they were either testing memory layout, or reading and printing data
+//! from sensors". The apps here mirror that suite: each is a small program
+//! driving the kernel through the real syscall surface, with user-mode
+//! memory accesses checked by the modelled MPU.
+
+use crate::capsules::driver;
+use crate::kernel::{App, Kernel, Step};
+use tt_hw::mem::AccessType;
+
+/// Flash/RAM requirements for one release test.
+#[derive(Debug, Clone, Copy)]
+pub struct AppSpec {
+    /// App name.
+    pub name: &'static str,
+    /// Flash image size (power of two).
+    pub flash_size: usize,
+    /// Minimum RAM request.
+    pub min_ram: usize,
+    /// Grant-region reservation.
+    pub kernel_reserved: usize,
+    /// Whether §6.1 expects this test's output to differ between kernels.
+    pub expect_differs: bool,
+}
+
+/// One release test: its spec and an app factory.
+pub struct ReleaseTest {
+    /// Requirements and expectations.
+    pub spec: AppSpec,
+    /// Creates a fresh program instance.
+    pub make: fn() -> Box<dyn App>,
+}
+
+/// A phase-counter base for simple sequential apps.
+#[derive(Default)]
+struct Phase(u32);
+
+impl Phase {
+    fn next(&mut self) -> u32 {
+        let p = self.0;
+        self.0 += 1;
+        p
+    }
+}
+
+macro_rules! simple_app {
+    ($ty:ident, $name:literal, |$phase:ident, $k:ident, $pid:ident| $body:block) => {
+        #[derive(Default)]
+        struct $ty {
+            phase: Phase,
+        }
+        impl App for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn step(&mut self, $k: &mut Kernel, $pid: usize) -> Step {
+                let $phase = self.phase.next();
+                $body
+            }
+        }
+    };
+}
+
+// 1. c_hello — the canonical first app.
+simple_app!(CHello, "c_hello", |phase, k, pid| {
+    match phase {
+        0 => {
+            let _ = k.sys_print(pid, "Hello World!\r\n");
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 2. blink — toggle LEDs, report the toggle count.
+simple_app!(Blink, "blink", |phase, k, pid| {
+    if phase < 12 {
+        let _ = k.sys_command(pid, driver::LED, 0, phase % 4);
+        Step::Continue
+    } else {
+        let n = k.sys_command(pid, driver::LED, 2, 0).unwrap_or(0);
+        let _ = k.sys_print(pid, &format!("blink: {n} toggles\r\n"));
+        Step::Exit
+    }
+});
+
+// 3. console_print_sync — several synchronous prints.
+simple_app!(ConsolePrintSync, "console_print_sync", |phase, k, pid| {
+    match phase {
+        0..=2 => {
+            let _ = k.sys_print(pid, &format!("line {}\r\n", phase + 1));
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 4. printf_long — one long write crossing buffer-staging boundaries.
+simple_app!(PrintfLong, "printf_long", |phase, k, pid| {
+    match phase {
+        0 => {
+            let long = "0123456789abcdef".repeat(8);
+            let _ = k.sys_print(pid, &format!("printf_long: {long}\r\n"));
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 5. malloc_test01 — grow the heap and use it.
+simple_app!(MallocTest01, "malloc_test01", |phase, k, pid| {
+    match phase {
+        0 => {
+            let old = k.sys_sbrk(pid, 0).unwrap();
+            if k.sys_sbrk(pid, 256).is_err() {
+                let _ = k.sys_print(pid, "malloc01: sbrk FAIL\r\n");
+                return Step::Exit;
+            }
+            // Touch the new memory through user-mode writes.
+            for i in 0..8 {
+                if k.user_write_u32(pid, old + i * 4, 0x1111_1111 * (i as u32 + 1))
+                    .is_err()
+                {
+                    return Step::Exit;
+                }
+            }
+            let ok = (0..8)
+                .all(|i| k.user_read_u32(pid, old + i * 4) == Ok(0x1111_1111 * (i as u32 + 1)));
+            let _ = k.sys_print(
+                pid,
+                if ok {
+                    "malloc01: OK\r\n"
+                } else {
+                    "malloc01: BAD\r\n"
+                },
+            );
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 6. malloc_test02 — grow, shrink, regrow; data below the shrink point
+// survives.
+simple_app!(MallocTest02, "malloc_test02", |phase, k, pid| {
+    match phase {
+        0 => {
+            let base = k.sys_memop(pid, 2).unwrap();
+            if k.user_write_u32(pid, base + 16, 0xCAFE_F00D).is_err() {
+                return Step::Exit;
+            }
+            if k.sys_sbrk(pid, 256).is_err() || k.sys_sbrk(pid, -384).is_err() {
+                let _ = k.sys_print(pid, "malloc02: sbrk FAIL\r\n");
+                return Step::Exit;
+            }
+            let _ = k.sys_sbrk(pid, 128);
+            let ok = k.user_read_u32(pid, base + 16) == Ok(0xCAFE_F00D);
+            let _ = k.sys_print(
+                pid,
+                if ok {
+                    "malloc02: OK\r\n"
+                } else {
+                    "malloc02: BAD\r\n"
+                },
+            );
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 7–8. stack_size_test01/02 — report the (static) stack reservations.
+simple_app!(StackSizeTest01, "stack_size_test01", |phase, k, pid| {
+    match phase {
+        0 => {
+            let _ = k.sys_print(pid, "stack_size_test01: stack 2048 OK\r\n");
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+simple_app!(StackSizeTest02, "stack_size_test02", |phase, k, pid| {
+    match phase {
+        0 => {
+            let _ = k.sys_print(pid, "stack_size_test02: stack 4096 OK\r\n");
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 9. mpu_walk_region — memory-layout test (EXPECTED TO DIFFER): prints
+// the current break, then probes upward until the MPU says no.
+simple_app!(MpuWalkRegion, "mpu_walk_region", |phase, k, pid| {
+    match phase {
+        0 => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            let brk = k.sys_sbrk(pid, 0).unwrap();
+            let mut probes = 0usize;
+            let mut addr = ms;
+            while k.user_probe(addr, AccessType::Read) && probes < 64 {
+                probes += 1;
+                addr += 128;
+            }
+            let _ = k.sys_print(
+                pid,
+                &format!(
+                    "mpu_walk: brk=+{:#x} accessible={} probes\r\n",
+                    brk - ms,
+                    probes
+                ),
+            );
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 10. mpu_stack_growth — layout test (EXPECTED TO DIFFER): prints the
+// layout, then "grows the stack" below the block until the MPU faults it.
+simple_app!(MpuStackGrowth, "mpu_stack_growth", |phase, k, pid| {
+    match phase {
+        0 => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            let me = k.sys_memop(pid, 3).unwrap();
+            let _ = k.sys_print(pid, &format!("mpu_stack_growth: block {:#x}\r\n", me - ms));
+            Step::Continue
+        }
+        _ => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            // Write below the block: the MPU must fault the process.
+            let _ = k.user_write_u32(pid, ms - 64, 0xDEAD);
+            Step::Continue // Unreachable if the fault landed.
+        }
+    }
+});
+
+// 11. stack_growth — layout test (EXPECTED TO DIFFER): prints breaks then
+// deliberately crashes by overrunning the allocated stack.
+simple_app!(StackGrowth, "stack_growth", |phase, k, pid| {
+    match phase {
+        0 => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            let brk = k.sys_sbrk(pid, 0).unwrap();
+            let me = k.sys_memop(pid, 3).unwrap();
+            let _ = k.sys_print(
+                pid,
+                &format!(
+                    "stack_growth: start={ms:#x} brk=+{:#x} end=+{:#x}\r\n",
+                    brk - ms,
+                    me - ms
+                ),
+            );
+            Step::Continue
+        }
+        _ => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            let _ = k.user_write_u32(pid, ms - 4, 1); // Stack overrun.
+            Step::Continue
+        }
+    }
+});
+
+// 12. sensors — sensor readings (EXPECTED TO DIFFER: values depend on
+// the cycle counter, which depends on the kernel flavour).
+simple_app!(Sensors, "sensors", |phase, k, pid| {
+    if phase < 3 {
+        let v = k.sys_command(pid, driver::SENSOR, 1, 0).unwrap_or(0);
+        let _ = k.sys_print(pid, &format!("sensor[{phase}] = {v}\r\n"));
+        Step::Continue
+    } else {
+        Step::Exit
+    }
+});
+
+// 13. adc — ADC samples (EXPECTED TO DIFFER, same reason).
+simple_app!(Adc, "adc", |phase, k, pid| {
+    if phase < 3 {
+        let v = k.sys_command(pid, driver::ADC, 1, phase).unwrap_or(0);
+        let _ = k.sys_print(pid, &format!("adc[{phase}] = {v}\r\n"));
+        Step::Continue
+    } else {
+        Step::Exit
+    }
+});
+
+// 14. temperature — a calibrated constant: identical on both kernels.
+simple_app!(Temperature, "temperature", |phase, k, pid| {
+    match phase {
+        0 => {
+            let v = k.sys_command(pid, driver::TEMPERATURE, 1, 0).unwrap_or(0);
+            let _ = k.sys_print(
+                pid,
+                &format!("temperature: {}.{:02} C\r\n", v / 100, v % 100),
+            );
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 15. alarm_simple — set one alarm, yield, report the upcall.
+simple_app!(AlarmSimple, "alarm_simple", |phase, k, pid| {
+    match phase {
+        0 => {
+            let _ = k.sys_subscribe(pid, driver::ALARM);
+            let _ = k.sys_command(pid, driver::ALARM, 1, 2);
+            Step::Yield
+        }
+        _ => {
+            if let Some(v) = k.take_upcall(pid) {
+                let _ = k.sys_print(pid, &format!("alarm fired: {v}\r\n"));
+                Step::Exit
+            } else {
+                Step::Yield
+            }
+        }
+    }
+});
+
+// 16. timer_repeat — three sequential alarms through the grant-backed
+// alarm state.
+#[derive(Default)]
+struct TimerRepeat {
+    fired: u32,
+    armed: bool,
+}
+impl App for TimerRepeat {
+    fn name(&self) -> &'static str {
+        "timer_repeat"
+    }
+    fn step(&mut self, k: &mut Kernel, pid: usize) -> Step {
+        if !self.armed {
+            let _ = k.sys_subscribe(pid, driver::ALARM);
+            let _ = k.sys_command(pid, driver::ALARM, 1, 1);
+            self.armed = true;
+            return Step::Yield;
+        }
+        if let Some(v) = k.take_upcall(pid) {
+            self.fired += 1;
+            let _ = k.sys_print(pid, &format!("timer {v}\r\n"));
+            if self.fired >= 3 {
+                return Step::Exit;
+            }
+            self.armed = false;
+            Step::Continue
+        } else {
+            Step::Yield
+        }
+    }
+}
+
+// 17. console_recv_short — echo queued console input.
+simple_app!(ConsoleRecvShort, "console_recv_short", |phase, k, pid| {
+    match phase {
+        0 => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            if k.sys_allow_rw(pid, ms + 512, 16).is_err() {
+                return Step::Exit;
+            }
+            let n = k.sys_command(pid, driver::CONSOLE, 2, 0).unwrap_or(0);
+            let mut echoed = String::new();
+            for i in 0..n as usize {
+                let word = k.user_read_u32(pid, ms + 512 + (i & !3)).unwrap_or(0);
+                echoed.push((word >> (8 * (i % 4))) as u8 as char);
+            }
+            let _ = k.sys_print(pid, &format!("echo: {echoed}\r\n"));
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 18. rot13_client — in-memory rot13 over a user buffer.
+simple_app!(Rot13Client, "rot13_client", |phase, k, pid| {
+    match phase {
+        0 => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            let input = b"Hello";
+            for (i, b) in input.iter().enumerate() {
+                let rot = match b {
+                    b'a'..=b'z' => (b - b'a' + 13) % 26 + b'a',
+                    b'A'..=b'Z' => (b - b'A' + 13) % 26 + b'A',
+                    other => *other,
+                };
+                if k.user_write_u8(pid, ms + 768 + i, rot).is_err() {
+                    return Step::Exit;
+                }
+            }
+            let mut out = String::new();
+            for i in 0..input.len() {
+                let word = k.user_read_u32(pid, ms + 768 + (i & !3)).unwrap_or(0);
+                out.push((word >> (8 * (i % 4))) as u8 as char);
+            }
+            let _ = k.sys_print(pid, &format!("rot13: {out}\r\n"));
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 19. ipc_ping — a two-phase ping/pong against the alarm service.
+simple_app!(IpcPing, "ipc_ping", |phase, k, pid| {
+    match phase {
+        0 => {
+            let _ = k.sys_print(pid, "ping\r\n");
+            let _ = k.sys_subscribe(pid, driver::ALARM);
+            let _ = k.sys_command(pid, driver::ALARM, 1, 1);
+            Step::Yield
+        }
+        _ => {
+            if k.take_upcall(pid).is_some() {
+                let _ = k.sys_print(pid, "pong\r\n");
+                Step::Exit
+            } else {
+                Step::Yield
+            }
+        }
+    }
+});
+
+// 20. dma_xfer — DMA into an allowed buffer through the safe DmaCell path.
+simple_app!(DmaXfer, "dma_xfer", |phase, k, pid| {
+    match phase {
+        0 => {
+            let ms = k.sys_memop(pid, 2).unwrap();
+            if k.sys_allow_rw(pid, ms + 896, 16).is_err() {
+                return Step::Exit;
+            }
+            let n = k.sys_command(pid, driver::DMA, 1, 1).unwrap_or(0);
+            let mut sum = 0u32;
+            for i in 0..4 {
+                sum = sum.wrapping_add(k.user_read_u32(pid, ms + 896 + i * 4).unwrap_or(0));
+            }
+            let _ = k.sys_print(pid, &format!("dma: {n} bytes sum={sum:#010x}\r\n"));
+            Step::Continue
+        }
+        _ => Step::Exit,
+    }
+});
+
+// 21. crash_dummy — deliberate wild access; the fault report goes to the
+// kernel fault log, so the console output is flavour-independent.
+simple_app!(CrashDummy, "crash_dummy", |phase, k, pid| {
+    match phase {
+        0 => {
+            let _ = k.sys_print(pid, "crash_dummy: begin\r\n");
+            Step::Continue
+        }
+        _ => {
+            let _ = k.user_read_u32(pid, 0xE000_0000); // Unmapped on every chip.
+            Step::Continue
+        }
+    }
+});
+
+/// Builds the full 21-test release suite.
+pub fn release_tests() -> Vec<ReleaseTest> {
+    fn spec(
+        name: &'static str,
+        min_ram: usize,
+        kernel_reserved: usize,
+        expect_differs: bool,
+    ) -> AppSpec {
+        AppSpec {
+            name,
+            flash_size: 0x1000,
+            min_ram,
+            kernel_reserved,
+            expect_differs,
+        }
+    }
+    macro_rules! test {
+        ($ty:ident, $name:literal, $ram:expr, $grant:expr, $differs:expr) => {
+            ReleaseTest {
+                spec: spec($name, $ram, $grant, $differs),
+                make: || Box::new(<$ty>::default()) as Box<dyn App>,
+            }
+        };
+    }
+    vec![
+        test!(CHello, "c_hello", 2048, 512, false),
+        test!(Blink, "blink", 2048, 512, false),
+        test!(ConsolePrintSync, "console_print_sync", 2048, 512, false),
+        test!(PrintfLong, "printf_long", 2048, 768, false),
+        test!(MallocTest01, "malloc_test01", 2048, 512, false),
+        test!(MallocTest02, "malloc_test02", 2048, 512, false),
+        test!(StackSizeTest01, "stack_size_test01", 2048, 512, false),
+        test!(StackSizeTest02, "stack_size_test02", 4096, 512, false),
+        // Layout- and sensor-dependent tests: expected to differ (§6.1).
+        test!(MpuWalkRegion, "mpu_walk_region", 2048, 1000, true),
+        test!(MpuStackGrowth, "mpu_stack_growth", 2048, 1000, true),
+        test!(StackGrowth, "stack_growth", 3000, 1024, true),
+        test!(Sensors, "sensors", 2048, 512, true),
+        test!(Adc, "adc", 2048, 512, true),
+        test!(Temperature, "temperature", 2048, 512, false),
+        test!(AlarmSimple, "alarm_simple", 2048, 512, false),
+        test!(TimerRepeat, "timer_repeat", 2048, 512, false),
+        test!(ConsoleRecvShort, "console_recv_short", 2048, 512, false),
+        test!(Rot13Client, "rot13_client", 2048, 512, false),
+        test!(IpcPing, "ipc_ping", 2048, 512, false),
+        test!(DmaXfer, "dma_xfer", 2048, 512, false),
+        test!(CrashDummy, "crash_dummy", 2048, 512, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_21_tests_with_5_expected_diffs() {
+        let tests = release_tests();
+        assert_eq!(tests.len(), 21);
+        let differs = tests.iter().filter(|t| t.spec.expect_differs).count();
+        assert_eq!(differs, 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let tests = release_tests();
+        let mut names: Vec<&str> = tests.iter().map(|t| t.spec.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn factories_produce_matching_names() {
+        for t in release_tests() {
+            assert_eq!((t.make)().name(), t.spec.name);
+        }
+    }
+}

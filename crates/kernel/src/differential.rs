@@ -1,0 +1,228 @@
+//! Differential testing of Tock vs TickTock (§6.1).
+//!
+//! Boots one kernel per flavour per release test (fresh chip, fresh cycle
+//! counter — the differential rig the paper runs on NRF52840dk + QEMU),
+//! runs the app to completion, and diffs the console outputs. The §6.1
+//! expectation: 21 tests, 5 differing, and every difference confined to
+//! the layout/sensor category.
+
+use crate::apps::{release_tests, ReleaseTest};
+use crate::kernel::{App, Kernel};
+use crate::loader::flash_app;
+use crate::process::{Flavor, ProcessState};
+use tt_hw::platform::{ChipProfile, NRF52840DK};
+use tt_legacy::BugVariant;
+
+/// Flash address where the differential rig places each app image.
+pub fn app_flash_base(chip: &ChipProfile) -> usize {
+    chip.map.flash.start + 0x4_0000
+}
+
+/// Outcome of one app run on one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Console output.
+    pub console: String,
+    /// Terminal process state.
+    pub state: ProcessState,
+    /// Whether the kernel logged a fault for the process.
+    pub faulted: bool,
+}
+
+/// Runs one release test on one kernel flavour on the NRF52840dk.
+pub fn run_one(test: &ReleaseTest, flavor: Flavor) -> RunOutcome {
+    run_one_on(test, flavor, &NRF52840DK)
+}
+
+/// Runs one release test on one kernel flavour on any chip (the paper's
+/// QEMU RISC-V runs use the same rig on the PMP chips).
+pub fn run_one_on(test: &ReleaseTest, flavor: Flavor, chip: &ChipProfile) -> RunOutcome {
+    // Fresh counters per run: readings and layouts must depend only on
+    // this kernel's own behaviour.
+    tt_hw::cycles::reset();
+    let mut kernel = Kernel::boot(flavor, chip);
+    let image = flash_app(
+        &mut kernel.mem,
+        app_flash_base(chip),
+        test.spec.name,
+        test.spec.flash_size,
+        test.spec.min_ram,
+        test.spec.kernel_reserved,
+    )
+    .expect("flash image");
+    let pid = kernel.load_process(&image).expect("load process");
+    // The console_recv test needs input queued before the app runs.
+    kernel.capsules.queue_console_input(pid, b"hi!\r\n");
+    let mut apps: Vec<Box<dyn App>> = vec![(test.make)()];
+    kernel.run(&mut apps, 200);
+    let process = &kernel.processes[pid];
+    RunOutcome {
+        console: process.console.clone(),
+        state: process.state.clone(),
+        faulted: kernel.fault_log.iter().any(|(p, _)| *p == pid),
+    }
+}
+
+/// Result of diffing one test across the two kernels.
+#[derive(Debug, Clone)]
+pub struct DiffResult {
+    /// Test name.
+    pub name: &'static str,
+    /// Whether §6.1 expects a difference.
+    pub expect_differs: bool,
+    /// Output on the legacy (Tock) kernel.
+    pub tock: RunOutcome,
+    /// Output on the granular (TickTock) kernel.
+    pub ticktock: RunOutcome,
+}
+
+impl DiffResult {
+    /// Whether the console outputs match.
+    pub fn matches(&self) -> bool {
+        self.tock.console == self.ticktock.console
+    }
+}
+
+/// Runs the whole release suite on both kernels (NRF52840dk).
+pub fn run_release_suite() -> Vec<DiffResult> {
+    run_release_suite_on(&NRF52840DK)
+}
+
+/// Runs the whole release suite on both kernels on any chip.
+pub fn run_release_suite_on(chip: &ChipProfile) -> Vec<DiffResult> {
+    release_tests()
+        .iter()
+        .map(|test| DiffResult {
+            name: test.spec.name,
+            expect_differs: test.spec.expect_differs,
+            tock: run_one_on(test, Flavor::Legacy(BugVariant::Fixed), chip),
+            ticktock: run_one_on(test, Flavor::Granular, chip),
+        })
+        .collect()
+}
+
+/// Renders the §6.1 summary table.
+pub fn render_report(results: &[DiffResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>10} {:>10}\n",
+        "Test", "Match", "Expected", "Verdict"
+    ));
+    let mut differing = 0;
+    let mut unexpected = 0;
+    for r in results {
+        let matches = r.matches();
+        if !matches {
+            differing += 1;
+        }
+        let verdict = if matches != r.expect_differs {
+            "ok"
+        } else {
+            unexpected += 1;
+            "UNEXPECTED"
+        };
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>10} {:>10}\n",
+            r.name,
+            if matches { "yes" } else { "DIFFERS" },
+            if r.expect_differs { "differs" } else { "same" },
+            verdict
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} tests, {} differing ({} unexpected)\n",
+        results.len(),
+        differing,
+        unexpected
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_reproduces_the_21_and_5_of_section_6_1() {
+        let results = run_release_suite();
+        assert_eq!(results.len(), 21);
+        let differing: Vec<&str> = results
+            .iter()
+            .filter(|r| !r.matches())
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(differing.len(), 5, "differing tests: {differing:?}");
+        for r in &results {
+            assert_eq!(
+                !r.matches(),
+                r.expect_differs,
+                "{}: tock={:?} ticktock={:?}",
+                r.name,
+                r.tock.console,
+                r.ticktock.console
+            );
+        }
+    }
+
+    #[test]
+    fn crash_tests_fault_on_both_kernels() {
+        let results = run_release_suite();
+        for name in ["crash_dummy", "stack_growth", "mpu_stack_growth"] {
+            let r = results.iter().find(|r| r.name == name).unwrap();
+            assert!(r.tock.faulted, "{name} should fault on tock");
+            assert!(r.ticktock.faulted, "{name} should fault on ticktock");
+            // The paper: "the application still correctly faulted when it
+            // tried to read/write to a location in memory it should not be
+            // able to access."
+            assert!(matches!(r.tock.state, ProcessState::Faulted(_)));
+            assert!(matches!(r.ticktock.state, ProcessState::Faulted(_)));
+        }
+    }
+
+    #[test]
+    fn non_crash_tests_exit_cleanly_on_both_kernels() {
+        let results = run_release_suite();
+        for r in &results {
+            if ["crash_dummy", "stack_growth", "mpu_stack_growth"].contains(&r.name) {
+                continue;
+            }
+            assert_eq!(r.tock.state, ProcessState::Exited, "{} on tock", r.name);
+            assert_eq!(
+                r.ticktock.state,
+                ProcessState::Exited,
+                "{} on ticktock",
+                r.name
+            );
+            assert!(!r.tock.faulted, "{} faulted on tock", r.name);
+            assert!(!r.ticktock.faulted, "{} faulted on ticktock", r.name);
+        }
+    }
+
+    #[test]
+    fn riscv_chips_reproduce_the_same_differential_shape() {
+        // The paper ran the RISC-V differential tests under QEMU; the same
+        // 21/5 shape must hold on the PMP chips.
+        for chip in [tt_hw::platform::ESP32_C3, tt_hw::platform::EARLGREY] {
+            let results = run_release_suite_on(&chip);
+            assert_eq!(results.len(), 21, "{}", chip.name);
+            for r in &results {
+                assert_eq!(
+                    !r.matches(),
+                    r.expect_differs,
+                    "{} on {}: tock={:?} ticktock={:?}",
+                    r.name,
+                    chip.name,
+                    r.tock.console,
+                    r.ticktock.console
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_summary() {
+        let results = run_release_suite();
+        let report = render_report(&results);
+        assert!(report.contains("21 tests, 5 differing (0 unexpected)"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Process loading from flash: a TBF-like application image format.
+//!
+//! Tock loads processes from flash images carrying a Tock Binary Format
+//! header (total size, entry point, minimum RAM). The simulator keeps the
+//! same structure: images are programmed into the chip's flash and parsed
+//! back at boot, and the flash region handed to the MPU is derived from
+//! the image placement.
+
+use tt_hw::mem::PhysicalMemory;
+use tt_hw::PtrU8;
+
+/// Magic number marking a valid app header (Tock uses TBF version tags).
+pub const TBF_MAGIC: u32 = 0x5449_434B; // "TICK"
+
+/// Parsed application header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppImage {
+    /// App name (up to 16 bytes in the header).
+    pub name: String,
+    /// Flash address of the header.
+    pub flash_start: PtrU8,
+    /// Total flash footprint (header + code), a power of two for the
+    /// Cortex-M flash region.
+    pub flash_size: usize,
+    /// Entry point offset from `flash_start`.
+    pub entry_offset: usize,
+    /// Minimum RAM the app requests for stack + data + heap.
+    pub min_ram_size: usize,
+    /// Grant-region reservation the kernel makes for this app.
+    pub kernel_reserved: usize,
+}
+
+impl AppImage {
+    /// The entry point address.
+    pub fn entry_point(&self) -> PtrU8 {
+        self.flash_start.offset(self.entry_offset)
+    }
+}
+
+/// Header layout: magic(4) name_len(4) name(16) flash_size(4)
+/// entry_offset(4) min_ram(4) kernel_reserved(4) = 40 bytes.
+pub const HEADER_BYTES: usize = 40;
+
+/// Errors from image handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The header magic is wrong or the header is truncated.
+    BadHeader,
+    /// The image does not fit at the requested flash address.
+    DoesNotFit,
+    /// The declared size is not a power of two or is misaligned (the
+    /// Cortex-M flash region constraint).
+    BadGeometry,
+}
+
+/// Serializes and programs an app image into flash; returns the parsed
+/// [`AppImage`] as the loader would see it at boot.
+pub fn flash_app(
+    mem: &mut PhysicalMemory,
+    flash_start: usize,
+    name: &str,
+    flash_size: usize,
+    min_ram_size: usize,
+    kernel_reserved: usize,
+) -> Result<AppImage, LoadError> {
+    if !tt_contracts::math::is_pow2(flash_size)
+        || flash_size < HEADER_BYTES.next_power_of_two()
+        || !flash_start.is_multiple_of(flash_size)
+    {
+        return Err(LoadError::BadGeometry);
+    }
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    header.extend_from_slice(&TBF_MAGIC.to_le_bytes());
+    let name_bytes = name.as_bytes();
+    let name_len = name_bytes.len().min(16);
+    header.extend_from_slice(&(name_len as u32).to_le_bytes());
+    let mut name_field = [0u8; 16];
+    name_field[..name_len].copy_from_slice(&name_bytes[..name_len]);
+    header.extend_from_slice(&name_field);
+    header.extend_from_slice(&(flash_size as u32).to_le_bytes());
+    header.extend_from_slice(&(HEADER_BYTES as u32).to_le_bytes()); // Entry after header.
+    header.extend_from_slice(&(min_ram_size as u32).to_le_bytes());
+    header.extend_from_slice(&(kernel_reserved as u32).to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_BYTES);
+    mem.program_flash(flash_start, &header)
+        .map_err(|_| LoadError::DoesNotFit)?;
+    parse_app(mem, flash_start)
+}
+
+/// Parses an app header out of flash.
+pub fn parse_app(mem: &PhysicalMemory, flash_start: usize) -> Result<AppImage, LoadError> {
+    let magic = mem
+        .read_u32(flash_start)
+        .map_err(|_| LoadError::BadHeader)?;
+    if magic != TBF_MAGIC {
+        return Err(LoadError::BadHeader);
+    }
+    let read = |off: usize| {
+        mem.read_u32(flash_start + off)
+            .map_err(|_| LoadError::BadHeader)
+    };
+    let name_len = read(4)? as usize;
+    let mut name_bytes = [0u8; 16];
+    mem.read_bytes(flash_start + 8, &mut name_bytes)
+        .map_err(|_| LoadError::BadHeader)?;
+    let name = String::from_utf8_lossy(&name_bytes[..name_len.min(16)]).into_owned();
+    let flash_size = read(24)? as usize;
+    let entry_offset = read(28)? as usize;
+    let min_ram_size = read(32)? as usize;
+    let kernel_reserved = read(36)? as usize;
+    if !tt_contracts::math::is_pow2(flash_size) || !flash_start.is_multiple_of(flash_size) {
+        return Err(LoadError::BadGeometry);
+    }
+    Ok(AppImage {
+        name,
+        flash_start: PtrU8::new(flash_start),
+        flash_size,
+        entry_offset,
+        min_ram_size,
+        kernel_reserved,
+    })
+}
+
+/// Lays out several images back to back in flash, each aligned to its own
+/// (power-of-two) size, starting at `base`.
+pub fn flash_many(
+    mem: &mut PhysicalMemory,
+    base: usize,
+    specs: &[(&str, usize, usize, usize)], // (name, flash_size, min_ram, kernel_reserved)
+) -> Result<Vec<AppImage>, LoadError> {
+    let mut at = base;
+    let mut out = Vec::with_capacity(specs.len());
+    for (name, flash_size, min_ram, kernel_reserved) in specs {
+        at = tt_contracts::math::align_up(at, *flash_size);
+        out.push(flash_app(
+            mem,
+            at,
+            name,
+            *flash_size,
+            *min_ram,
+            *kernel_reserved,
+        )?);
+        at += flash_size;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::platform::NRF52840DK;
+
+    #[test]
+    fn flash_and_parse_roundtrip() {
+        let mut mem = NRF52840DK.memory();
+        let img = flash_app(&mut mem, 0x0004_0000, "c_hello", 0x1000, 2048, 512).unwrap();
+        assert_eq!(img.name, "c_hello");
+        assert_eq!(img.flash_size, 0x1000);
+        assert_eq!(img.min_ram_size, 2048);
+        assert_eq!(img.kernel_reserved, 512);
+        assert_eq!(img.entry_point().as_usize(), 0x0004_0000 + HEADER_BYTES);
+        let reparsed = parse_app(&mem, 0x0004_0000).unwrap();
+        assert_eq!(reparsed, img);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mem = NRF52840DK.memory();
+        assert_eq!(parse_app(&mem, 0x0004_0000), Err(LoadError::BadHeader));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let mut mem = NRF52840DK.memory();
+        assert_eq!(
+            flash_app(&mut mem, 0x0004_0000, "x", 0x1100, 1024, 256),
+            Err(LoadError::BadGeometry)
+        );
+        assert_eq!(
+            flash_app(&mut mem, 0x0004_0100, "x", 0x1000, 1024, 256),
+            Err(LoadError::BadGeometry)
+        );
+    }
+
+    #[test]
+    fn long_names_truncate_to_16_bytes() {
+        let mut mem = NRF52840DK.memory();
+        let img = flash_app(
+            &mut mem,
+            0x0004_0000,
+            "a_very_long_application_name",
+            0x1000,
+            1024,
+            256,
+        )
+        .unwrap();
+        assert_eq!(img.name.len(), 16);
+    }
+
+    #[test]
+    fn flash_many_aligns_each_image() {
+        let mut mem = NRF52840DK.memory();
+        let imgs = flash_many(
+            &mut mem,
+            0x0004_0000,
+            &[
+                ("one", 0x1000, 1024, 256),
+                ("two", 0x2000, 2048, 256),
+                ("three", 0x1000, 1024, 256),
+            ],
+        )
+        .unwrap();
+        assert_eq!(imgs[0].flash_start.as_usize(), 0x0004_0000);
+        assert_eq!(imgs[1].flash_start.as_usize(), 0x0004_2000); // 0x2000-aligned.
+        assert_eq!(imgs[2].flash_start.as_usize(), 0x0004_4000);
+        for img in &imgs {
+            assert_eq!(img.flash_start.as_usize() % img.flash_size, 0);
+        }
+    }
+
+    #[test]
+    fn image_overflowing_flash_rejected() {
+        let mut mem = NRF52840DK.memory();
+        let end = NRF52840DK.map.flash.end;
+        let aligned = end - 0x1000 + 0x1000; // One past the last aligned slot.
+        assert_eq!(
+            flash_app(&mut mem, aligned, "x", 0x1000, 1024, 256),
+            Err(LoadError::DoesNotFit)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! The machine abstraction: one handle over a chip's protection hardware.
+//!
+//! The paper evaluates on an ARM board and, for RISC-V, under QEMU (§6.1).
+//! `Machine` is the kernel's view of whichever protection unit the chip
+//! has, so the same kernel code boots on all four [`ChipProfile`]s.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use tt_hw::cortexm::CortexMpu;
+use tt_hw::mem::{AccessDecision, AccessType, Privilege, ProtectionUnit};
+use tt_hw::platform::{Arch, ChipProfile};
+use tt_hw::riscv::RiscvPmp;
+
+/// A shared handle to the chip's protection hardware.
+#[derive(Debug, Clone)]
+pub enum Machine {
+    /// ARMv7-M MPU.
+    CortexM(Rc<RefCell<CortexMpu>>),
+    /// RISC-V PMP.
+    Pmp(Rc<RefCell<RiscvPmp>>),
+}
+
+impl Machine {
+    /// Creates the reset-state machine for a chip profile.
+    pub fn for_chip(profile: &ChipProfile) -> Self {
+        match profile.arch {
+            Arch::CortexM => Machine::CortexM(Rc::new(RefCell::new(CortexMpu::new()))),
+            Arch::Riscv32(chip) => Machine::Pmp(Rc::new(RefCell::new(RiscvPmp::new(chip)))),
+        }
+    }
+
+    /// Checks an access against the live hardware state.
+    pub fn check(
+        &self,
+        addr: usize,
+        size: usize,
+        access: AccessType,
+        priv_: Privilege,
+    ) -> AccessDecision {
+        match self {
+            Machine::CortexM(mpu) => mpu.borrow().check(addr, size, access, priv_),
+            Machine::Pmp(pmp) => pmp.borrow().check(addr, size, access, priv_),
+        }
+    }
+
+    /// Disables user-facing protection while the kernel runs (§2.1).
+    ///
+    /// On ARM this clears MPU_CTRL.ENABLE; on RISC-V it is a no-op — the
+    /// kernel runs in M-mode, which unlocked PMP entries never constrain.
+    pub fn disable_user_protection(&self) {
+        if let Machine::CortexM(mpu) = self {
+            mpu.borrow_mut().write_ctrl(false, true);
+        }
+    }
+
+    /// The ARM MPU handle, if this machine is a Cortex-M.
+    pub fn cortexm(&self) -> Option<Rc<RefCell<CortexMpu>>> {
+        match self {
+            Machine::CortexM(mpu) => Some(Rc::clone(mpu)),
+            Machine::Pmp(_) => None,
+        }
+    }
+
+    /// The PMP handle, if this machine is RISC-V.
+    pub fn pmp(&self) -> Option<Rc<RefCell<RiscvPmp>>> {
+        match self {
+            Machine::Pmp(pmp) => Some(Rc::clone(pmp)),
+            Machine::CortexM(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::platform::{ALL_CHIPS, EARLGREY, NRF52840DK};
+
+    #[test]
+    fn machine_matches_chip_arch() {
+        for chip in ALL_CHIPS {
+            let m = Machine::for_chip(&chip);
+            match chip.arch {
+                Arch::CortexM => assert!(m.cortexm().is_some() && m.pmp().is_none()),
+                Arch::Riscv32(_) => assert!(m.pmp().is_some() && m.cortexm().is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn reset_machines_deny_unprivileged_ram() {
+        // ARM resets with the MPU disabled (allows), RISC-V PMP denies by
+        // default — both are the architecture's true reset behaviour.
+        let arm = Machine::for_chip(&NRF52840DK);
+        assert!(arm
+            .check(
+                NRF52840DK.map.ram.start,
+                4,
+                AccessType::Read,
+                Privilege::Unprivileged
+            )
+            .allowed());
+        let rv = Machine::for_chip(&EARLGREY);
+        assert!(!rv
+            .check(
+                EARLGREY.map.ram.start,
+                4,
+                AccessType::Read,
+                Privilege::Unprivileged
+            )
+            .allowed());
+    }
+
+    #[test]
+    fn disable_user_protection_is_safe_on_both() {
+        for chip in ALL_CHIPS {
+            let m = Machine::for_chip(&chip);
+            m.disable_user_protection();
+            // Privileged access always works afterwards.
+            assert!(m
+                .check(
+                    chip.map.ram.start,
+                    4,
+                    AccessType::Write,
+                    Privilege::Privileged
+                )
+                .allowed());
+        }
+    }
+}

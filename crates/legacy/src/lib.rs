@@ -1,0 +1,25 @@
+//! Tock's original **monolithic** MPU abstraction — the paper's baseline.
+//!
+//! TickTock is a fork: to show what the fork fixes, this crate carries a
+//! faithful reimplementation of the pre-fork design (paper §3.2, Fig. 3a
+//! and Fig. 4a), including the historical isolation bugs as selectable
+//! [`mpu_trait::BugVariant`]s:
+//!
+//! * [`cortexm`] — the Fig. 4a Cortex-M allocator (BUG1: subregion/grant
+//!   overlap, tock#4366; BUG3: brk underflow, §2.2);
+//! * [`riscv`] — the monolithic PMP driver (the tock#2173/#2947 comparison
+//!   bug class);
+//! * [`process`] — the loader-side layout recomputation (the
+//!   *disagreement* problem);
+//! * [`obligations`] — the Figure 12 "TickTock (Monolithic)" verification
+//!   workload.
+
+pub mod cortexm;
+pub mod mpu_trait;
+pub mod obligations;
+pub mod process;
+pub mod riscv;
+
+pub use cortexm::{AllocLayout, CortexMConfig, LegacyCortexM};
+pub use mpu_trait::{BugVariant, LegacyMpu, LegacyMpuError};
+pub use riscv::{LegacyRiscv, PmpConfig};

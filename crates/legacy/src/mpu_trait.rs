@@ -1,0 +1,78 @@
+//! Tock's original monolithic MPU abstraction (paper Fig. 3a).
+//!
+//! A single high-level trait exposes operations that *allocate* and
+//! *update* memory regions for a process. The paper shows this design
+//! entangles hardware constraints with kernel logic and discards computed
+//! values, producing the *disagreement* between the kernel's view and the
+//! hardware-enforced layout (§3.2).
+
+use tt_hw::{Permissions, PtrU8};
+
+/// Error from the legacy allocation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegacyMpuError {
+    /// The request cannot be satisfied within the available memory.
+    OutOfMemory,
+    /// Parameters violate the hardware constraints.
+    InvalidParameters,
+}
+
+/// The monolithic MPU interface, as in Fig. 3a.
+pub trait LegacyMpu {
+    /// Per-process MPU configuration (Fig. 3a's associated `MpuConfig`).
+    type MpuConfig: Default + Clone;
+
+    /// Allocates application memory when Tock first loads a process.
+    ///
+    /// Returns only the start and total size of the process memory block —
+    /// the intermediate values delineating process- and kernel-accessible
+    /// memory are **discarded**, which is exactly the paper's
+    /// *disagreement* problem: callers must recompute them.
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_app_mem_region(
+        &self,
+        unalloc_start: PtrU8,
+        unalloc_size: usize,
+        min_size: usize,
+        app_size: usize,
+        kernel_size: usize,
+        permissions: Permissions,
+        config: &mut Self::MpuConfig,
+    ) -> Option<(PtrU8, usize)>;
+
+    /// Updates the MPU configuration when the application grows or shrinks
+    /// its memory via `brk`/`sbrk`.
+    fn update_app_mem_region(
+        &self,
+        new_app_break: PtrU8,
+        kernel_break: PtrU8,
+        permissions: Permissions,
+        config: &mut Self::MpuConfig,
+    ) -> Result<(), LegacyMpuError>;
+
+    /// Allocates the flash (code) region for the process.
+    fn allocate_flash_region(
+        &self,
+        flash_start: PtrU8,
+        flash_size: usize,
+        permissions: Permissions,
+        config: &mut Self::MpuConfig,
+    ) -> Option<()>;
+
+    /// Writes the configuration into the hardware.
+    fn configure_mpu(&self, config: &Self::MpuConfig);
+}
+
+/// Which historical variant of the driver to instantiate.
+///
+/// `Buggy` is the faithful port of the code the paper verified and found
+/// broken; `Fixed` applies the upstreamed fixes (tock#4366, tock#2173,
+/// the brk validation of §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BugVariant {
+    /// The pre-verification implementation with the historical bugs.
+    Buggy,
+    /// The post-verification implementation with the upstreamed fixes.
+    #[default]
+    Fixed,
+}

@@ -1,0 +1,126 @@
+//! The legacy process loader's layout recomputation — the *disagreement*
+//! problem made concrete (§3.2).
+//!
+//! `allocate_app_mem_region` computes the process/kernel memory split
+//! internally but returns only `(start, size)`. Tock's process loader then
+//! "must redo the work of carving the remaining pool of RAM into
+//! process-accessible memory and kernel grant memory", and the two
+//! computations can disagree: the hardware enforces subregion boundaries,
+//! the loader believes `start + app_size`.
+
+use crate::cortexm::AllocLayout;
+use tt_hw::cycles::{charge_n, Cost};
+
+/// The breaks the process loader believes, recomputed from `(start, size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecomputedBreaks {
+    /// Start of the process memory block.
+    pub memory_start: usize,
+    /// Total block size.
+    pub memory_size: usize,
+    /// End of process-accessible RAM, as the loader computes it.
+    pub app_break: usize,
+    /// Start of the kernel grant region, as the loader computes it.
+    pub kernel_break: usize,
+}
+
+/// The loader-side recomputation (Tock `process_standard::create`): given
+/// only the returned start and size, re-derive the split. This duplicated
+/// work is what Fig. 11's `allocate_grant`/`create` numbers pay for in the
+/// legacy kernel.
+pub fn recompute_breaks(
+    start: usize,
+    size: usize,
+    app_size: usize,
+    kernel_size: usize,
+) -> RecomputedBreaks {
+    charge_n(Cost::Alu, 4);
+    charge_n(Cost::Load, 2);
+    RecomputedBreaks {
+        memory_start: start,
+        memory_size: size,
+        app_break: start + app_size,
+        kernel_break: (start + size).saturating_sub(kernel_size),
+    }
+}
+
+/// A detected divergence between the loader's view and the MPU-enforced
+/// layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disagreement {
+    /// End of accessible memory according to the hardware (subregions).
+    pub hw_accessible_end: usize,
+    /// End of accessible memory according to the loader.
+    pub loader_app_break: usize,
+}
+
+/// Compares the loader's recomputed view with the hardware layout. Returns
+/// `Some` when the MPU admits accesses the loader does not know about.
+pub fn check_disagreement(
+    layout: &AllocLayout,
+    recomputed: &RecomputedBreaks,
+) -> Option<Disagreement> {
+    if layout.subregs_enabled_end > recomputed.app_break {
+        Some(Disagreement {
+            hw_accessible_end: layout.subregs_enabled_end,
+            loader_app_break: recomputed.app_break,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cortexm::LegacyCortexM;
+    use crate::mpu_trait::BugVariant;
+
+    #[test]
+    fn recompute_carves_top_for_kernel() {
+        let b = recompute_breaks(0x2000_0000, 8192, 4096, 1024);
+        assert_eq!(b.app_break, 0x2000_1000);
+        assert_eq!(b.kernel_break, 0x2000_0000 + 8192 - 1024);
+        assert_eq!(b.memory_size, 8192);
+    }
+
+    #[test]
+    fn disagreement_always_exists_with_subregion_rounding() {
+        // Even in the FIXED variant, the loader's `start + app_size` differs
+        // from the hardware's subregion-rounded end whenever app_size is not
+        // a multiple of the subregion size — the paper's point that the
+        // monolithic interface structurally invites divergence.
+        let mpu = LegacyCortexM::with_fresh_hardware(BugVariant::Fixed);
+        let (start, min, app, kernel) = (0x2000_0000, 0, 3000, 1000);
+        let layout = mpu.compute_alloc_layout(start, min, app, kernel);
+        let rec = recompute_breaks(layout.region_start, layout.mem_size_po2, app, kernel);
+        let d = check_disagreement(&layout, &rec);
+        assert!(d.is_some(), "layout {layout:?} vs {rec:?}");
+        let d = d.unwrap();
+        assert!(d.hw_accessible_end > d.loader_app_break);
+    }
+
+    #[test]
+    fn no_disagreement_when_app_size_is_subregion_aligned() {
+        let mpu = LegacyCortexM::with_fresh_hardware(BugVariant::Fixed);
+        // app = 2048 with region_size = 2048 → subregions of 256; but the
+        // +1 in `num_enabled_subregs` still rounds one subregion past the
+        // requested size, so pick app so that layout end == app break:
+        // impossible with the +1 — assert the structural property instead:
+        // hardware end is always strictly beyond the ideal app break.
+        let layout = mpu.compute_alloc_layout(0x2000_0000, 0, 2048, 1024);
+        let rec = recompute_breaks(layout.region_start, layout.mem_size_po2, 2048, 1024);
+        assert!(layout.subregs_enabled_end > rec.memory_start);
+        assert!(check_disagreement(&layout, &rec).is_some());
+    }
+
+    #[test]
+    fn saturating_kernel_break_on_degenerate_sizes() {
+        // kernel_size larger than the whole block: the subtraction saturates
+        // instead of wrapping.
+        let b = recompute_breaks(0x1000, 64, 32, 0x2000);
+        assert_eq!(b.kernel_break, 0);
+        let b2 = recompute_breaks(0x1000, 64, 32, 1024);
+        assert_eq!(b2.kernel_break, 0x1000 + 64 - 1024);
+    }
+}

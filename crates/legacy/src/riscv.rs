@@ -1,0 +1,384 @@
+//! The legacy monolithic PMP driver, with the historical comparison bugs.
+//!
+//! The RISC-V side of Tock had its own isolation bugs in this era:
+//! tock#2173 ("pmp: disallow access above app brk") and tock#2947
+//! ("Fixup PMP comparison"). Both stem from the same monolithic pattern:
+//! the driver derives the protected range from process-layout arithmetic
+//! inline, and a wrong bound or comparison silently exposes grant memory.
+//!
+//! The `Buggy` variant programs the user TOR region up to the **kernel
+//! break** instead of the app break (the #2173 class); `Fixed` programs it
+//! to the app break.
+
+use crate::mpu_trait::{BugVariant, LegacyMpu, LegacyMpuError};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tt_hw::cycles::{charge, charge_n, Cost};
+use tt_hw::riscv::pmp::{AddressMode, PMP_R, PMP_W, PMP_X};
+use tt_hw::riscv::RiscvPmp;
+use tt_hw::{Permissions, PtrU8};
+
+/// PMP entry pair used for process RAM (TOR: entries 0 and 1).
+pub const RAM_ENTRY_BASE: usize = 0;
+/// PMP entry pair used for process flash (TOR: entries 2 and 3).
+pub const FLASH_ENTRY_BASE: usize = 2;
+
+/// Encodes logical permissions into pmpcfg R/W/X bits.
+pub fn encode_permissions(perms: Permissions) -> u8 {
+    match perms {
+        Permissions::ReadWriteExecute => PMP_R | PMP_W | PMP_X,
+        Permissions::ReadWriteOnly => PMP_R | PMP_W,
+        Permissions::ReadExecuteOnly => PMP_R | PMP_X,
+        Permissions::ReadOnly => PMP_R,
+        Permissions::ExecuteOnly => PMP_X,
+    }
+}
+
+/// The legacy per-process PMP configuration: raw (cfg, addr) pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PmpConfig {
+    /// Entries staged for the hardware (cfg byte, pmpaddr value).
+    pub entries: [(u8, u32); 8],
+    /// Cached block geometry (start, total size) — the legacy code keeps
+    /// just enough to re-derive everything else.
+    pub block: Option<(usize, usize)>,
+    /// Cached kernel size for re-derivation.
+    pub kernel_size: usize,
+}
+
+/// The legacy RISC-V PMP driver.
+#[derive(Debug, Clone)]
+pub struct LegacyRiscv {
+    variant: BugVariant,
+    hardware: Rc<RefCell<RiscvPmp>>,
+}
+
+impl LegacyRiscv {
+    /// Creates a driver over the given PMP instance.
+    pub fn new(variant: BugVariant, hardware: Rc<RefCell<RiscvPmp>>) -> Self {
+        Self { variant, hardware }
+    }
+
+    /// Creates a driver with fresh hardware for the given chip.
+    pub fn with_fresh_hardware(variant: BugVariant, chip: tt_hw::riscv::PmpChip) -> Self {
+        Self::new(variant, Rc::new(RefCell::new(RiscvPmp::new(chip))))
+    }
+
+    /// Returns the hardware handle.
+    pub fn hardware(&self) -> Rc<RefCell<RiscvPmp>> {
+        Rc::clone(&self.hardware)
+    }
+
+    fn stage_tor(
+        config: &mut PmpConfig,
+        base_entry: usize,
+        lo: usize,
+        hi: usize,
+        perms: Permissions,
+    ) {
+        charge_n(Cost::Alu, 4);
+        charge_n(Cost::Store, 2);
+        config.entries[base_entry] = (0, (lo >> 2) as u32);
+        config.entries[base_entry + 1] = (
+            encode_permissions(perms) | (AddressMode::Tor.encode() << 3),
+            (hi >> 2) as u32,
+        );
+    }
+}
+
+impl LegacyMpu for LegacyRiscv {
+    type MpuConfig = PmpConfig;
+
+    fn allocate_app_mem_region(
+        &self,
+        unalloc_start: PtrU8,
+        unalloc_size: usize,
+        min_size: usize,
+        app_size: usize,
+        kernel_size: usize,
+        permissions: Permissions,
+        config: &mut PmpConfig,
+    ) -> Option<(PtrU8, usize)> {
+        if app_size == 0 || kernel_size == 0 {
+            return None;
+        }
+        // PMP TOR has 4-byte granularity, so no power-of-two contortions:
+        // round sizes to the granularity and carve the block directly.
+        charge_n(Cost::Alu, 6);
+        let g = self.hardware.borrow().chip().granularity();
+        let start = tt_contracts::math::align_up(unalloc_start.as_usize(), g);
+        let app =
+            tt_contracts::math::align_up(app_size.max(min_size.saturating_sub(kernel_size)), g);
+        let kernel = tt_contracts::math::align_up(kernel_size, g);
+        let total = tt_contracts::checked_add("legacy-pmp::alloc", app, kernel);
+        charge(Cost::Branch);
+        if start + total > unalloc_start.as_usize() + unalloc_size {
+            return None;
+        }
+
+        let app_break = start + app;
+        let kernel_break = start + total - kernel; // == app_break here.
+                                                   // The historical comparison bug class: program the user-accessible
+                                                   // TOR bound with the WRONG break.
+        let bound = match self.variant {
+            BugVariant::Buggy => start + total, // #2173: everything incl. grant.
+            BugVariant::Fixed => app_break,
+        };
+        debug_assert!(kernel_break <= start + total);
+        Self::stage_tor(config, RAM_ENTRY_BASE, start, bound, permissions);
+        config.block = Some((start, total));
+        config.kernel_size = kernel;
+        Some((PtrU8::new(start), total))
+    }
+
+    fn update_app_mem_region(
+        &self,
+        new_app_break: PtrU8,
+        kernel_break: PtrU8,
+        permissions: Permissions,
+        config: &mut PmpConfig,
+    ) -> Result<(), LegacyMpuError> {
+        let (start, total) = config.block.ok_or(LegacyMpuError::InvalidParameters)?;
+        charge_n(Cost::Branch, 2);
+        let brk = new_app_break.as_usize();
+        match self.variant {
+            BugVariant::Fixed => {
+                if brk <= start || brk > kernel_break.as_usize() || brk > start + total {
+                    return Err(LegacyMpuError::InvalidParameters);
+                }
+                Self::stage_tor(config, RAM_ENTRY_BASE, start, brk, permissions);
+            }
+            BugVariant::Buggy => {
+                // #2173 class: compare against the block end, not the
+                // kernel break, and program the bound past the grant.
+                if brk <= start || brk > start + total {
+                    return Err(LegacyMpuError::InvalidParameters);
+                }
+                let bound = brk.max(kernel_break.as_usize());
+                Self::stage_tor(config, RAM_ENTRY_BASE, start, bound, permissions);
+            }
+        }
+        Ok(())
+    }
+
+    fn allocate_flash_region(
+        &self,
+        flash_start: PtrU8,
+        flash_size: usize,
+        permissions: Permissions,
+        config: &mut PmpConfig,
+    ) -> Option<()> {
+        charge_n(Cost::Alu, 2);
+        let g = self.hardware.borrow().chip().granularity();
+        if !flash_start.as_usize().is_multiple_of(g) || flash_size == 0 {
+            return None;
+        }
+        Self::stage_tor(
+            config,
+            FLASH_ENTRY_BASE,
+            flash_start.as_usize(),
+            flash_start.as_usize() + flash_size,
+            permissions,
+        );
+        Some(())
+    }
+
+    // TRUSTED: CSR write-out (TCB, §6.1).
+    fn configure_mpu(&self, config: &PmpConfig) {
+        let mut hw = self.hardware.borrow_mut();
+        for (i, (cfg, addr)) in config.entries.iter().enumerate() {
+            hw.write_addr(i, *addr);
+            hw.write_cfg(i, *cfg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::mem::{AccessType, Privilege, ProtectionUnit};
+    use tt_hw::riscv::PmpChip;
+
+    const RAM: usize = 0x8000_0000;
+
+    fn alloc(variant: BugVariant) -> (LegacyRiscv, PmpConfig, PtrU8, usize) {
+        let mpu = LegacyRiscv::with_fresh_hardware(variant, PmpChip::SifiveE310);
+        let mut config = PmpConfig::default();
+        let (start, total) = mpu
+            .allocate_app_mem_region(
+                PtrU8::new(RAM),
+                0x4000,
+                0,
+                2048,
+                512,
+                Permissions::ReadWriteOnly,
+                &mut config,
+            )
+            .unwrap();
+        mpu.configure_mpu(&config);
+        (mpu, config, start, total)
+    }
+
+    #[test]
+    fn buggy_pmp_exposes_grant_region() {
+        let (mpu, _config, start, total) = alloc(BugVariant::Buggy);
+        let hw = mpu.hardware();
+        let hw = hw.borrow();
+        // Grant bytes live in the top `kernel` part of the block; with the
+        // buggy bound, user writes there are admitted.
+        let grant_byte = start.as_usize() + total - 256;
+        assert!(hw
+            .check(grant_byte, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+    }
+
+    #[test]
+    fn fixed_pmp_protects_grant_region() {
+        let (mpu, _config, start, total) = alloc(BugVariant::Fixed);
+        let hw = mpu.hardware();
+        let hw = hw.borrow();
+        let grant_byte = start.as_usize() + total - 256;
+        assert!(!hw
+            .check(grant_byte, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+        // App memory still accessible.
+        assert!(hw
+            .check(
+                start.as_usize(),
+                4,
+                AccessType::Write,
+                Privilege::Unprivileged
+            )
+            .allowed());
+        assert!(hw
+            .check(
+                start.as_usize() + 2044,
+                4,
+                AccessType::Read,
+                Privilege::Unprivileged
+            )
+            .allowed());
+    }
+
+    #[test]
+    fn fixed_update_respects_kernel_break() {
+        let (mpu, mut config, start, total) = alloc(BugVariant::Fixed);
+        let kernel_break = PtrU8::new(start.as_usize() + total - 512);
+        // Growing to the kernel break exactly is allowed…
+        mpu.update_app_mem_region(
+            kernel_break,
+            kernel_break,
+            Permissions::ReadWriteOnly,
+            &mut config,
+        )
+        .unwrap();
+        // …but past it is rejected.
+        let err = mpu.update_app_mem_region(
+            kernel_break.offset(4),
+            kernel_break,
+            Permissions::ReadWriteOnly,
+            &mut config,
+        );
+        assert_eq!(err, Err(LegacyMpuError::InvalidParameters));
+    }
+
+    #[test]
+    fn buggy_update_allows_growth_past_kernel_break() {
+        let (mpu, mut config, start, total) = alloc(BugVariant::Buggy);
+        let kernel_break = PtrU8::new(start.as_usize() + total - 512);
+        // The buggy comparison admits a break above the kernel break.
+        mpu.update_app_mem_region(
+            kernel_break.offset(4),
+            kernel_break,
+            Permissions::ReadWriteOnly,
+            &mut config,
+        )
+        .unwrap();
+        mpu.configure_mpu(&config);
+        let hw = mpu.hardware();
+        let hw = hw.borrow();
+        assert!(hw
+            .check(
+                kernel_break.as_usize(),
+                4,
+                AccessType::Write,
+                Privilege::Unprivileged
+            )
+            .allowed());
+    }
+
+    #[test]
+    fn flash_region_grants_read_execute() {
+        let mpu = LegacyRiscv::with_fresh_hardware(BugVariant::Fixed, PmpChip::Esp32C3);
+        let mut config = PmpConfig::default();
+        mpu.allocate_flash_region(
+            PtrU8::new(0x4200_0000),
+            0x1000,
+            Permissions::ReadExecuteOnly,
+            &mut config,
+        )
+        .unwrap();
+        mpu.configure_mpu(&config);
+        let hw = mpu.hardware();
+        let hw = hw.borrow();
+        assert!(hw
+            .check(0x4200_0000, 4, AccessType::Execute, Privilege::Unprivileged)
+            .allowed());
+        assert!(!hw
+            .check(0x4200_0000, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+        assert!(!hw
+            .check(0x4200_1000, 4, AccessType::Read, Privilege::Unprivileged)
+            .allowed());
+    }
+
+    #[test]
+    fn allocation_respects_pool_bounds() {
+        let mpu = LegacyRiscv::with_fresh_hardware(BugVariant::Fixed, PmpChip::SifiveE310);
+        let mut config = PmpConfig::default();
+        assert!(mpu
+            .allocate_app_mem_region(
+                PtrU8::new(RAM),
+                1024,
+                0,
+                2048,
+                512,
+                Permissions::ReadWriteOnly,
+                &mut config
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn ibex_granularity_rounds_sizes() {
+        let mpu = LegacyRiscv::with_fresh_hardware(BugVariant::Fixed, PmpChip::IbexEarlGrey);
+        let mut config = PmpConfig::default();
+        let (start, total) = mpu
+            .allocate_app_mem_region(
+                PtrU8::new(0x1000_0002), // Misaligned for G = 8.
+                0x4000,
+                0,
+                1001,
+                99,
+                Permissions::ReadWriteOnly,
+                &mut config,
+            )
+            .unwrap();
+        assert_eq!(start.as_usize() % 8, 0);
+        assert_eq!(total % 8, 0);
+        assert!(total >= 1001 + 99);
+    }
+
+    #[test]
+    fn permission_encoding_matches_pmp_bits() {
+        assert_eq!(
+            encode_permissions(Permissions::ReadWriteOnly),
+            PMP_R | PMP_W
+        );
+        assert_eq!(
+            encode_permissions(Permissions::ReadExecuteOnly),
+            PMP_R | PMP_X
+        );
+        assert_eq!(encode_permissions(Permissions::ExecuteOnly), PMP_X);
+    }
+}

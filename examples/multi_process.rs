@@ -1,0 +1,111 @@
+//! Multi-process scenario: three apps sharing one TickTock kernel —
+//! alarms, DMA, console — with pairwise isolation checked on live MPU
+//! state, plus the same allocator running on all three RISC-V PMP chips.
+//!
+//! ```sh
+//! cargo run --example multi_process
+//! ```
+
+use ticktock_repro::hw::mem::AccessType;
+use ticktock_repro::hw::platform::NRF52840DK;
+use ticktock_repro::hw::{Permissions, PtrU8};
+use ticktock_repro::kernel::apps::release_tests;
+use ticktock_repro::kernel::loader::flash_many;
+use ticktock_repro::kernel::process::Flavor;
+use ticktock_repro::kernel::{App, Kernel};
+use ticktock_repro::ticktock::allocator::AppMemoryAllocator;
+use ticktock_repro::ticktock::riscv::{GranularPmpE310, GranularPmpIbex};
+
+fn main() {
+    // --- Part 1: three processes on one ARM kernel -----------------------
+    let mut kernel = Kernel::boot(Flavor::Granular, &NRF52840DK);
+    let images = flash_many(
+        &mut kernel.mem,
+        0x0004_0000,
+        &[
+            ("alarm_simple", 0x1000, 2048, 512),
+            ("dma_xfer", 0x1000, 2048, 512),
+            ("blink", 0x1000, 2048, 512),
+        ],
+    )
+    .expect("flash images");
+    for img in &images {
+        kernel.load_process(img).expect("load");
+    }
+
+    let suite = release_tests();
+    let pick = |name: &str| {
+        let t = suite.iter().find(|t| t.spec.name == name).unwrap();
+        (t.make)()
+    };
+    let mut apps: Vec<Box<dyn App>> = vec![pick("alarm_simple"), pick("dma_xfer"), pick("blink")];
+    kernel.run(&mut apps, 200);
+
+    println!(
+        "three processes on {} ({}):",
+        NRF52840DK.name,
+        kernel.flavor.name()
+    );
+    for p in &kernel.processes {
+        println!(
+            "  pid {} [{}] state={:?} console={:?}",
+            p.pid, p.image.name, p.state, p.console
+        );
+        assert_eq!(p.state, ticktock_repro::kernel::ProcessState::Exited);
+    }
+
+    // Pairwise isolation on live hardware state: for each process's MPU
+    // configuration, every OTHER process's memory is unreachable.
+    for i in 0..kernel.processes.len() {
+        kernel.processes[i].setup_mpu();
+        for j in 0..kernel.processes.len() {
+            let probe = kernel.processes[j].memory_start() + 64;
+            let reachable = kernel.user_probe(probe, AccessType::Read);
+            assert_eq!(reachable, i == j, "pid {i} vs pid {j}");
+        }
+    }
+    println!("pairwise isolation verified across all three processes");
+
+    // --- Part 2: the same allocator code on RISC-V PMP chips -------------
+    println!("\nthe same AppMemoryAllocator on RISC-V PMP (granular abstraction):");
+    let e310 = AppMemoryAllocator::<GranularPmpE310>::allocate_app_memory(
+        PtrU8::new(0x8000_0000),
+        0x4000,
+        0,
+        2048,
+        512,
+        PtrU8::new(0x2000_0000),
+        0x1000,
+    )
+    .expect("e310 allocation");
+    println!(
+        "  hifive1 (e310):  block {:#x}+{:#x}, app_break {:#x}",
+        e310.breaks.memory_start.as_usize(),
+        e310.breaks.memory_size,
+        e310.breaks.app_break.as_usize()
+    );
+    e310.check_invariants();
+
+    let ibex = AppMemoryAllocator::<GranularPmpIbex>::allocate_app_memory(
+        PtrU8::new(0x1000_0000),
+        0x8000,
+        0,
+        3000,
+        768,
+        PtrU8::new(0x2000_0000),
+        0x1000,
+    )
+    .expect("ibex allocation");
+    println!(
+        "  earlgrey (ibex): block {:#x}+{:#x}, app_break {:#x}",
+        ibex.breaks.memory_start.as_usize(),
+        ibex.breaks.memory_size,
+        ibex.breaks.app_break.as_usize()
+    );
+    ibex.check_invariants();
+
+    // The paper's point: the allocation logic is hardware-agnostic; only
+    // the RegionDescriptor implementations differ.
+    let _ = Permissions::ReadWriteOnly;
+    println!("same kernel allocation code, two architectures, invariants intact");
+}

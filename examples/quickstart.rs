@@ -1,0 +1,57 @@
+//! Quickstart: boot a TickTock kernel, load an app, watch isolation work.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ticktock_repro::hw::mem::AccessType;
+use ticktock_repro::hw::platform::NRF52840DK;
+use ticktock_repro::kernel::apps::release_tests;
+use ticktock_repro::kernel::loader::flash_app;
+use ticktock_repro::kernel::process::Flavor;
+use ticktock_repro::kernel::{App, Kernel};
+
+fn main() {
+    // 1. Boot a TickTock (granular) kernel on a simulated NRF52840dk.
+    let mut kernel = Kernel::boot(Flavor::Granular, &NRF52840DK);
+    println!("booted {} on {}", kernel.flavor.name(), NRF52840DK.name);
+
+    // 2. Flash and load the classic first app.
+    let image = flash_app(&mut kernel.mem, 0x0004_0000, "c_hello", 0x1000, 2048, 512)
+        .expect("flash app image");
+    let pid = kernel.load_process(&image).expect("load process");
+    let p = &kernel.processes[pid];
+    println!("loaded pid {pid}: {}", p.layout_report());
+
+    // 3. Run it under the round-robin scheduler.
+    let hello = release_tests().remove(0);
+    let mut apps: Vec<Box<dyn App>> = vec![(hello.make)()];
+    kernel.run(&mut apps, 100);
+    println!("console: {:?}", kernel.processes[pid].console);
+
+    // 4. Isolation, observably: with the process's MPU configuration
+    //    loaded, its own memory is accessible and the kernel-owned grant
+    //    region is not.
+    kernel.processes[pid].setup_mpu();
+    let own = kernel.processes[pid].memory_start() + 64;
+    let grant = kernel.processes[pid].memory_start() + kernel.processes[pid].memory_size() - 8;
+    println!(
+        "user read of own memory  {own:#010x}: {}",
+        if kernel.user_probe(own, AccessType::Read) {
+            "allowed"
+        } else {
+            "DENIED"
+        }
+    );
+    println!(
+        "user read of grant bytes {grant:#010x}: {}",
+        if kernel.user_probe(grant, AccessType::Read) {
+            "allowed"
+        } else {
+            "DENIED"
+        }
+    );
+    assert!(kernel.user_probe(own, AccessType::Read));
+    assert!(!kernel.user_probe(grant, AccessType::Read));
+    println!("isolation holds: the process can reach its memory and nothing else");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the TickTock reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use ticktock;
+pub use tt_contracts as contracts;
+pub use tt_fluxarm as fluxarm;
+pub use tt_hw as hw;
+pub use tt_kernel as kernel;
+pub use tt_legacy as legacy;
