@@ -1,9 +1,20 @@
 //! Regenerates the §6.1 differential-testing result: 21 release tests run
 //! on both kernels, 5 expected output differences.
+//!
+//! Exits non-zero if any test's verdict is UNEXPECTED (a difference where
+//! §6.1 expects none, or vice versa) — this is the CI gate.
+//!
+//! With `--trace`, additionally prints the first observable trace
+//! divergence for every differing test (not just the console diff), using
+//! the trace-equivalence oracle in `tt_kernel::trace`.
+
+use std::process::ExitCode;
 
 use tt_kernel::differential::{render_report, run_release_suite};
+use tt_kernel::trace::render_divergence;
 
-fn main() {
+fn main() -> ExitCode {
+    let trace_mode = std::env::args().any(|a| a == "--trace");
     println!("Section 6.1: Differential testing (Tock vs TickTock, 21 release tests)");
     let results = run_release_suite();
     println!("{}", render_report(&results));
@@ -12,7 +23,23 @@ fn main() {
             println!("--- {} ---", r.name);
             println!("  tock:     {:?}", r.tock.console);
             println!("  ticktock: {:?}", r.ticktock.console);
+            if trace_mode {
+                match &r.trace_divergence {
+                    Some(d) => print!("  {}", render_divergence(d, "tock", "ticktock")),
+                    None => println!("  (traces observably equivalent; console-only diff)"),
+                }
+            }
         }
     }
     println!("(paper: 21 tests, 5 differing — all layout- or sensor-dependent)");
+    let unexpected: Vec<&str> = results
+        .iter()
+        .filter(|r| r.matches() == r.expect_differs)
+        .map(|r| r.name)
+        .collect();
+    if !unexpected.is_empty() {
+        eprintln!("UNEXPECTED differential results: {unexpected:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

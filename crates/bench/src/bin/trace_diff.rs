@@ -1,0 +1,125 @@
+//! Replays a single release test on two kernel flavors and dumps both
+//! event traces plus the first divergence — the debugging companion to
+//! `e61_differential`.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_diff <test-name> [--chip <name>] [--buggy] [--full] [--dump]
+//! ```
+//!
+//! * default: compares Tock (`Legacy(Fixed)`) vs TickTock (`Granular`)
+//!   under the *observable* trace scope (register values are
+//!   flavor-dependent by design and excluded).
+//! * `--buggy`: compares `Legacy(Buggy)` vs `Legacy(Fixed)` — same
+//!   backend, so the *full* scope applies and a register-value divergence
+//!   pinpoints the injected allocator bug.
+//! * `--full`: force full scope for the default comparison.
+//! * `--dump`: print both complete traces, not just the divergence.
+//! * `--chip`: one of the `tt_hw::platform` profiles (default
+//!   `nrf52840dk`).
+
+use std::process::ExitCode;
+
+use tt_hw::platform::{ChipProfile, ALL_CHIPS, NRF52840DK};
+use tt_kernel::apps::release_tests;
+use tt_kernel::differential::run_one_on;
+use tt_kernel::process::Flavor;
+use tt_kernel::trace::{diff_traces, render_divergence, render_trace, TraceScope};
+use tt_legacy::BugVariant;
+
+fn find_chip(name: &str) -> Option<ChipProfile> {
+    ALL_CHIPS.into_iter().find(|c| c.name == name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut test_name = None;
+    let mut chip = NRF52840DK;
+    let mut buggy = false;
+    let mut full = false;
+    let mut dump = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chip" => match it.next().and_then(|n| find_chip(n)) {
+                Some(c) => chip = c,
+                None => {
+                    eprintln!("unknown chip; available: {:?}", ALL_CHIPS.map(|c| c.name));
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--buggy" => buggy = true,
+            "--full" => full = true,
+            "--dump" => dump = true,
+            name => test_name = Some(name.to_string()),
+        }
+    }
+    let tests = release_tests();
+    let test = match test_name
+        .as_deref()
+        .and_then(|n| tests.iter().find(|t| t.spec.name == n))
+    {
+        Some(t) => t,
+        None => {
+            eprintln!("usage: trace_diff <test-name> [--chip <name>] [--buggy] [--full] [--dump]");
+            eprintln!(
+                "release tests: {:?}",
+                tests.iter().map(|t| t.spec.name).collect::<Vec<_>>()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ((left_name, left_flavor), (right_name, right_flavor), scope) = if buggy {
+        (
+            ("buggy", Flavor::Legacy(BugVariant::Buggy)),
+            ("fixed", Flavor::Legacy(BugVariant::Fixed)),
+            TraceScope::Full,
+        )
+    } else {
+        (
+            ("tock", Flavor::Legacy(BugVariant::Fixed)),
+            ("ticktock", Flavor::Granular),
+            if full {
+                TraceScope::Full
+            } else {
+                TraceScope::Observable
+            },
+        )
+    };
+
+    println!(
+        "replaying `{}` on {} ({left_name} vs {right_name}, {scope:?} scope)",
+        test.spec.name, chip.name
+    );
+    let left = run_one_on(test, left_flavor, &chip);
+    let right = run_one_on(test, right_flavor, &chip);
+    println!(
+        "{left_name:>9}: {} events, console {:?}",
+        left.trace.events.len(),
+        left.console
+    );
+    println!(
+        "{right_name:>9}: {} events, console {:?}",
+        right.trace.events.len(),
+        right.console
+    );
+    if dump {
+        println!("\n===== {left_name} trace =====");
+        print!("{}", render_trace(&left.trace));
+        println!("\n===== {right_name} trace =====");
+        print!("{}", render_trace(&right.trace));
+    }
+    match diff_traces(&left.trace, &right.trace, scope) {
+        Some(d) => {
+            println!();
+            print!("{}", render_divergence(&d, left_name, right_name));
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("\ntraces are equivalent under {scope:?} scope");
+            ExitCode::SUCCESS
+        }
+    }
+}

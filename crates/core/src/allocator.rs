@@ -287,6 +287,14 @@ impl<M: Mpu> AppMemoryAllocator<M> {
     /// Writes the staged configuration into the MPU (`setup_mpu`, run at
     /// every context switch into this process).
     pub fn configure_mpu(&self, mpu: &M) {
+        tt_hw::trace::record(tt_hw::trace::TraceEvent::AllocatorCommit {
+            regions: self
+                .regions
+                .as_slice()
+                .iter()
+                .filter(|r| r.is_set())
+                .count() as u8,
+        });
         mpu.configure_mpu(self.regions.as_slice());
     }
 }

@@ -592,7 +592,7 @@ mod tests {
         // written did not match the order of the region ids". The granular
         // driver must commit RASR writes in ascending slot order.
         let mpu = GranularCortexM::with_fresh_hardware();
-        let regions: Vec<CortexMRegion> = (0..8).map(|i| CortexMRegion::unset(i)).collect();
+        let regions: Vec<CortexMRegion> = (0..8).map(CortexMRegion::unset).collect();
         mpu.configure_mpu(&regions);
         let hw = mpu.hardware();
         let order = hw.borrow_mut().take_write_order();

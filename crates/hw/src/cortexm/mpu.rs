@@ -239,6 +239,11 @@ impl CortexMpu {
     /// Writes MPU_CTRL.
     pub fn write_ctrl(&mut self, enable: bool, privdefena: bool) {
         crate::cycles::charge(crate::cycles::Cost::MmioWrite);
+        crate::trace::record(crate::trace::TraceEvent::RegWrite {
+            reg: crate::trace::RegName::Ctrl,
+            index: 0,
+            value: (enable as u32) | ((privdefena as u32) << 2),
+        });
         self.enable = enable;
         self.privdefena = privdefena;
     }
@@ -247,6 +252,11 @@ impl CortexMpu {
     pub fn write_rnr(&mut self, region: usize) {
         crate::cycles::charge(crate::cycles::Cost::MmioWrite);
         self.rnr = region % NUM_REGIONS;
+        crate::trace::record(crate::trace::TraceEvent::RegWrite {
+            reg: crate::trace::RegName::Rnr,
+            index: self.rnr as u8,
+            value: self.rnr as u32,
+        });
     }
 
     /// Writes MPU_RBAR. If VALID is set, the REGION field also updates
@@ -257,6 +267,11 @@ impl CortexMpu {
             self.rnr = RegionBaseAddress::REGION.read(value) as usize % NUM_REGIONS;
         }
         self.regions[self.rnr].rbar = value;
+        crate::trace::record(crate::trace::TraceEvent::RegWrite {
+            reg: crate::trace::RegName::Rbar,
+            index: self.rnr as u8,
+            value,
+        });
     }
 
     /// Writes MPU_RASR for the currently selected region.
@@ -264,6 +279,11 @@ impl CortexMpu {
         crate::cycles::charge(crate::cycles::Cost::MmioWrite);
         self.regions[self.rnr].rasr = value;
         self.write_order.push(self.rnr);
+        crate::trace::record(crate::trace::TraceEvent::RegWrite {
+            reg: crate::trace::RegName::Rasr,
+            index: self.rnr as u8,
+            value,
+        });
     }
 
     /// Convenience: writes a whole region pair via the RBAR VALID path.

@@ -21,6 +21,7 @@ pub mod perms;
 pub mod platform;
 pub mod registers;
 pub mod riscv;
+pub mod trace;
 
 pub use addr::{AddrRange, PtrU8};
 pub use mem::{

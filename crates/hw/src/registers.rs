@@ -15,7 +15,11 @@ use std::marker::PhantomData;
 use std::ops::Add;
 
 /// Marker trait tying fields to a specific hardware register type.
-pub trait RegisterLongName: 'static {}
+pub trait RegisterLongName: 'static {
+    /// Human-readable register name, used by the trace hook on staged
+    /// [`RegisterU32`] writes.
+    const NAME: &'static str = "reg";
+}
 
 /// Generic register name for untyped use.
 #[derive(Debug)]
@@ -185,6 +189,7 @@ impl<R: RegisterLongName> RegisterU32<R> {
     /// Overwrites the whole register.
     pub fn set(&mut self, value: u32) {
         self.value = value;
+        self.trace();
     }
 
     /// Reads one field.
@@ -200,11 +205,21 @@ impl<R: RegisterLongName> RegisterU32<R> {
     /// Writes the given field values, zeroing all other bits.
     pub fn write(&mut self, fv: FieldValue<R>) {
         self.value = fv.value;
+        self.trace();
     }
 
     /// Read-modify-writes the given field values.
     pub fn modify(&mut self, fv: FieldValue<R>) {
         self.value = fv.modify(self.value);
+        self.trace();
+    }
+
+    fn trace(&self) {
+        crate::trace::record(crate::trace::TraceEvent::RegWrite {
+            reg: crate::trace::RegName::Staged(R::NAME),
+            index: 0,
+            value: self.value,
+        });
     }
 }
 
@@ -235,7 +250,9 @@ macro_rules! register_bitfields {
             /// The register's long-name marker type.
             #[derive(Debug)]
             pub enum Register {}
-            impl $crate::registers::RegisterLongName for Register {}
+            impl $crate::registers::RegisterLongName for Register {
+                const NAME: &'static str = stringify!($name);
+            }
             $(
                 $(#[$meta])*
                 pub const $field: $crate::registers::Field<Register> =

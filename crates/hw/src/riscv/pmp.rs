@@ -179,6 +179,11 @@ impl RiscvPmp {
                 cfg &= !(0b11 << 3);
             }
             self.entries[index].cfg = cfg;
+            crate::trace::record(crate::trace::TraceEvent::RegWrite {
+                reg: crate::trace::RegName::PmpCfg,
+                index: index as u8,
+                value: cfg as u32,
+            });
         }
     }
 
@@ -196,6 +201,11 @@ impl RiscvPmp {
             }
         }
         self.entries[index].addr = addr;
+        crate::trace::record(crate::trace::TraceEvent::RegWrite {
+            reg: crate::trace::RegName::PmpAddr,
+            index: index as u8,
+            value: addr,
+        });
     }
 
     /// Reads back one entry (test/inspection interface).

@@ -1,0 +1,395 @@
+//! Kernel event tracing: a fixed-capacity ring buffer of typed events.
+//!
+//! The differential oracle in `tt-kernel` compares *final* run outcomes;
+//! two kernels can diverge mid-run (a wrong MPU register write, a missed
+//! fault, a mis-ordered upcall) and still converge to the same console
+//! output. This module records *what the system observably did*, step by
+//! step, so the oracle can report the first divergent event instead.
+//!
+//! Like [`crate::cycles`], the sink is thread-local so parallel tests do
+//! not interfere. Recording is zero-allocation in steady state: the
+//! buffer is allocated once at [`enable`] and events are `Copy`; when the
+//! ring is full the oldest event is overwritten and a drop counter is
+//! bumped. When tracing is disabled (the default), [`record`] is a single
+//! thread-local flag check.
+//!
+//! Crucially, tracing never calls into [`crate::cycles`]: enabling a
+//! trace must not perturb the cycle-accurate cost model that Fig. 11/12
+//! experiments depend on.
+
+use std::cell::{Cell, RefCell};
+
+/// Which hardware register a [`TraceEvent::RegWrite`] hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegName {
+    /// Cortex-M `MPU_CTRL` (value bit0 = ENABLE, bit2 = PRIVDEFENA).
+    Ctrl,
+    /// Cortex-M `MPU_RNR` region number register.
+    Rnr,
+    /// Cortex-M `MPU_RBAR` region base address register.
+    Rbar,
+    /// Cortex-M `MPU_RASR` region attribute and size register.
+    Rasr,
+    /// RISC-V `pmpcfg` byte for one entry.
+    PmpCfg,
+    /// RISC-V `pmpaddr` CSR for one entry.
+    PmpAddr,
+    /// A staged [`crate::registers::RegisterU32`] copy (driver-side
+    /// read-modify-write staging, not yet committed to hardware).
+    Staged(&'static str),
+}
+
+/// Which system call a [`TraceEvent::SyscallEnter`]/`SyscallExit` pair
+/// describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SyscallKind {
+    /// `brk(new_break)`.
+    Brk,
+    /// `sbrk(delta)`.
+    Sbrk,
+    /// `memop(op, arg)`.
+    Memop,
+    /// `subscribe(driver, upcall)`.
+    Subscribe,
+    /// `allow_ro(driver, addr, len)`.
+    AllowRo,
+    /// `allow_rw(driver, addr, len)`.
+    AllowRw,
+    /// `command(driver, cmd, arg)`.
+    Command,
+    /// The debug `print` syscall.
+    Print,
+}
+
+/// Direction of a [`TraceEvent::ContextSwitch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SwitchDir {
+    /// The process is being switched onto the (virtual) CPU.
+    In,
+    /// The process is being switched off.
+    Out,
+}
+
+/// Sentinel pid recorded when no process context is active (e.g. register
+/// writes during kernel boot).
+pub const NO_PID: u32 = u32::MAX;
+
+/// One observable step of a kernel run.
+///
+/// Events are `Copy` and fixed-size so the ring buffer never allocates
+/// after [`enable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// A system call handler was entered.
+    SyscallEnter {
+        /// Calling process.
+        pid: u32,
+        /// Which syscall.
+        call: SyscallKind,
+        /// First raw argument (meaning depends on `call`).
+        arg0: u32,
+        /// Second raw argument.
+        arg1: u32,
+        /// Third raw argument.
+        arg2: u32,
+    },
+    /// A system call handler returned.
+    SyscallExit {
+        /// Calling process.
+        pid: u32,
+        /// Which syscall.
+        call: SyscallKind,
+        /// Whether the call succeeded.
+        ok: bool,
+        /// Raw return value (0 on plain success).
+        value: u32,
+    },
+    /// The scheduler switched a process in or out.
+    ContextSwitch {
+        /// The process being switched.
+        pid: u32,
+        /// In or out.
+        dir: SwitchDir,
+    },
+    /// A process's full MPU/PMP configuration was committed to hardware
+    /// (the kernel-level `setup_mpu` path). The raw register values follow
+    /// as [`TraceEvent::RegWrite`] events from the hardware hooks.
+    MpuCommit {
+        /// Process whose configuration was committed.
+        pid: u32,
+    },
+    /// The granular (`ticktock`) allocator pushed its region array to the
+    /// driver — the §4.4 "commit" path. Legacy flavors never emit this.
+    AllocatorCommit {
+        /// Number of committed regions.
+        regions: u8,
+    },
+    /// A write reached the hardware register file (or a staged register
+    /// copy, for [`RegName::Staged`]).
+    RegWrite {
+        /// Which register.
+        reg: RegName,
+        /// Region / PMP entry index (0 for indexless registers).
+        index: u8,
+        /// Raw 32-bit value written.
+        value: u32,
+    },
+    /// A user-mode access was denied by the protection unit.
+    BusFault {
+        /// Faulting process.
+        pid: u32,
+        /// Faulting address.
+        addr: u32,
+        /// `true` for a write access, `false` for a read.
+        write: bool,
+    },
+    /// An upcall was delivered to a subscribed process.
+    UpcallDeliver {
+        /// Receiving process.
+        pid: u32,
+        /// Driver that scheduled the upcall.
+        driver: u32,
+        /// Upcall payload value.
+        value: u32,
+    },
+    /// A process image was loaded and its memory allocated.
+    ProcessLoad {
+        /// New process.
+        pid: u32,
+    },
+    /// A faulted process was restarted.
+    ProcessRestart {
+        /// Restarted process.
+        pid: u32,
+    },
+    /// A process was marked faulted by the kernel.
+    ProcessFault {
+        /// Faulted process.
+        pid: u32,
+    },
+}
+
+/// A drained trace: the surviving events in record order plus how many
+/// older events were overwritten by ring wraparound.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Events in the order they were recorded (oldest first).
+    pub events: Vec<TraceEvent>,
+    /// Number of events lost to wraparound before `events[0]`.
+    pub dropped: u64,
+}
+
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest live event.
+    head: usize,
+    /// Number of live events (≤ capacity).
+    len: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            // Still filling the preallocated storage: no reallocation
+            // happens because `buf` was created `with_capacity(capacity)`.
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            let slot = (self.head + self.len) % self.capacity;
+            self.buf[slot] = ev;
+            if self.len == self.capacity {
+                self.head = (self.head + 1) % self.capacity;
+                self.dropped += 1;
+            } else {
+                self.len += 1;
+            }
+        }
+    }
+
+    fn drain(&mut self) -> Trace {
+        let mut events = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            events.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        let dropped = self.dropped;
+        self.head = 0;
+        self.len = 0;
+        self.buf.clear();
+        self.dropped = 0;
+        Trace { events, dropped }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static RING: RefCell<Option<Ring>> = const { RefCell::new(None) };
+    static CURRENT_PID: Cell<u32> = const { Cell::new(NO_PID) };
+}
+
+/// Starts tracing on this thread with a ring of `capacity` events,
+/// discarding any previously recorded events.
+pub fn enable(capacity: usize) {
+    RING.with(|r| *r.borrow_mut() = Some(Ring::new(capacity)));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stops tracing and frees the ring. Events not yet [`take`]n are lost.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+    RING.with(|r| *r.borrow_mut() = None);
+    CURRENT_PID.with(|p| p.set(NO_PID));
+}
+
+/// Returns `true` if tracing is enabled on this thread.
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Records one event. A no-op (one flag check) when tracing is disabled.
+#[inline]
+pub fn record(ev: TraceEvent) {
+    if !is_enabled() {
+        return;
+    }
+    RING.with(|r| {
+        if let Some(ring) = r.borrow_mut().as_mut() {
+            ring.push(ev);
+        }
+    });
+}
+
+/// Drains the recorded events (oldest first), leaving tracing enabled
+/// with an empty ring.
+pub fn take() -> Trace {
+    RING.with(|r| r.borrow_mut().as_mut().map(Ring::drain).unwrap_or_default())
+}
+
+/// Sets the process context attributed to subsequent low-level events
+/// (register writes don't know which process they configure; the kernel
+/// tells us). Use [`NO_PID`] for "no process".
+pub fn set_current_pid(pid: u32) {
+    CURRENT_PID.with(|p| p.set(pid));
+}
+
+/// Returns the process context last set via [`set_current_pid`].
+pub fn current_pid() -> u32 {
+    CURRENT_PID.with(|p| p.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(value: u32) -> TraceEvent {
+        TraceEvent::RegWrite {
+            reg: RegName::Rasr,
+            index: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_record_is_noop() {
+        disable();
+        assert!(!is_enabled());
+        record(ev(1));
+        assert_eq!(take(), Trace::default());
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        enable(8);
+        for v in 0..5 {
+            record(ev(v));
+        }
+        let t = take();
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.events, (0..5).map(ev).collect::<Vec<_>>());
+        // Ring stays enabled and empty after take().
+        assert!(is_enabled());
+        assert_eq!(take().events, vec![]);
+        disable();
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_counts_drops() {
+        enable(4);
+        for v in 0..10 {
+            record(ev(v));
+        }
+        let t = take();
+        assert_eq!(t.dropped, 6);
+        assert_eq!(t.events, (6..10).map(ev).collect::<Vec<_>>());
+        disable();
+    }
+
+    #[test]
+    fn wraparound_exactly_at_capacity_boundary() {
+        enable(3);
+        for v in 0..3 {
+            record(ev(v));
+        }
+        let t = take();
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.events.len(), 3);
+        // One more than capacity drops exactly one.
+        for v in 0..4 {
+            record(ev(v));
+        }
+        let t = take();
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.events, (1..4).map(ev).collect::<Vec<_>>());
+        disable();
+    }
+
+    #[test]
+    fn ring_reuses_storage_across_take() {
+        enable(4);
+        for v in 0..3 {
+            record(ev(v));
+        }
+        let _ = take();
+        for v in 10..16 {
+            record(ev(v));
+        }
+        let t = take();
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.events, (12..16).map(ev).collect::<Vec<_>>());
+        disable();
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        enable(0);
+        record(ev(1));
+        record(ev(2));
+        let t = take();
+        assert_eq!(t.events, vec![]);
+        assert_eq!(t.dropped, 2);
+        disable();
+    }
+
+    #[test]
+    fn current_pid_roundtrip() {
+        assert_eq!(current_pid(), NO_PID);
+        set_current_pid(3);
+        assert_eq!(current_pid(), 3);
+        set_current_pid(NO_PID);
+    }
+}

@@ -10,8 +10,13 @@ use crate::apps::{release_tests, ReleaseTest};
 use crate::kernel::{App, Kernel};
 use crate::loader::flash_app;
 use crate::process::{Flavor, ProcessState};
+use crate::trace::{self, diff_traces, render_divergence, Trace, TraceDivergence, TraceScope};
 use tt_hw::platform::{ChipProfile, NRF52840DK};
 use tt_legacy::BugVariant;
+
+/// Ring capacity used for per-run traces: a 200-tick release-test run
+/// records a few thousand events, so this never wraps in practice.
+pub const TRACE_CAPACITY: usize = 65_536;
 
 /// Flash address where the differential rig places each app image.
 pub fn app_flash_base(chip: &ChipProfile) -> usize {
@@ -27,6 +32,9 @@ pub struct RunOutcome {
     pub state: ProcessState,
     /// Whether the kernel logged a fault for the process.
     pub faulted: bool,
+    /// Full event trace of the run (empty if tracing was disabled by the
+    /// caller; [`run_one_on`] always records one).
+    pub trace: Trace,
 }
 
 /// Runs one release test on one kernel flavour on the NRF52840dk.
@@ -40,6 +48,9 @@ pub fn run_one_on(test: &ReleaseTest, flavor: Flavor, chip: &ChipProfile) -> Run
     // Fresh counters per run: readings and layouts must depend only on
     // this kernel's own behaviour.
     tt_hw::cycles::reset();
+    // Fresh trace per run. Tracing stays out of the cycle model, so the
+    // Fig. 11/12 numbers are identical with or without it.
+    trace::enable(TRACE_CAPACITY);
     let mut kernel = Kernel::boot(flavor, chip);
     let image = flash_app(
         &mut kernel.mem,
@@ -55,11 +66,14 @@ pub fn run_one_on(test: &ReleaseTest, flavor: Flavor, chip: &ChipProfile) -> Run
     kernel.capsules.queue_console_input(pid, b"hi!\r\n");
     let mut apps: Vec<Box<dyn App>> = vec![(test.make)()];
     kernel.run(&mut apps, 200);
+    let trace = trace::take();
+    trace::disable();
     let process = &kernel.processes[pid];
     RunOutcome {
         console: process.console.clone(),
         state: process.state.clone(),
         faulted: kernel.fault_log.iter().any(|(p, _)| *p == pid),
+        trace,
     }
 }
 
@@ -74,12 +88,36 @@ pub struct DiffResult {
     pub tock: RunOutcome,
     /// Output on the granular (TickTock) kernel.
     pub ticktock: RunOutcome,
+    /// First divergence between the two runs' traces under
+    /// [`TraceScope::Observable`], if any.
+    pub trace_divergence: Option<TraceDivergence>,
 }
 
 impl DiffResult {
-    /// Whether the console outputs match.
+    /// Builds a result from the two runs, computing the trace divergence.
+    pub fn from_runs(
+        name: &'static str,
+        expect_differs: bool,
+        tock: RunOutcome,
+        ticktock: RunOutcome,
+    ) -> Self {
+        let trace_divergence = diff_traces(&tock.trace, &ticktock.trace, TraceScope::Observable);
+        Self {
+            name,
+            expect_differs,
+            tock,
+            ticktock,
+            trace_divergence,
+        }
+    }
+
+    /// Whether the two kernels behaved the same: matching console output
+    /// *and* observably-equivalent traces. The trace check is the
+    /// stronger oracle — two runs can print the same text while diverging
+    /// mid-run (a missed fault, a mis-ordered upcall), and this catches
+    /// it.
     pub fn matches(&self) -> bool {
-        self.tock.console == self.ticktock.console
+        self.tock.console == self.ticktock.console && self.trace_divergence.is_none()
     }
 }
 
@@ -92,11 +130,13 @@ pub fn run_release_suite() -> Vec<DiffResult> {
 pub fn run_release_suite_on(chip: &ChipProfile) -> Vec<DiffResult> {
     release_tests()
         .iter()
-        .map(|test| DiffResult {
-            name: test.spec.name,
-            expect_differs: test.spec.expect_differs,
-            tock: run_one_on(test, Flavor::Legacy(BugVariant::Fixed), chip),
-            ticktock: run_one_on(test, Flavor::Granular, chip),
+        .map(|test| {
+            DiffResult::from_runs(
+                test.spec.name,
+                test.spec.expect_differs,
+                run_one_on(test, Flavor::Legacy(BugVariant::Fixed), chip),
+                run_one_on(test, Flavor::Granular, chip),
+            )
         })
         .collect()
 }
@@ -135,6 +175,18 @@ pub fn render_report(results: &[DiffResult]) -> String {
         differing,
         unexpected
     ));
+    let divergent: Vec<&DiffResult> = results
+        .iter()
+        .filter(|r| r.trace_divergence.is_some())
+        .collect();
+    if !divergent.is_empty() {
+        out.push_str("\nFirst trace divergences (observable scope):\n");
+        for r in divergent {
+            let d = r.trace_divergence.as_ref().unwrap();
+            out.push_str(&format!("* {}: ", r.name));
+            out.push_str(&render_divergence(d, "tock", "ticktock"));
+        }
+    }
     out
 }
 

@@ -16,6 +16,7 @@ use crate::process::{Flavor, Process, ProcessError, ProcessState};
 use tt_hw::cycles::{charge, Cost};
 use tt_hw::mem::{AccessType, BusFault, PhysicalMemory, Privilege};
 use tt_hw::platform::ChipProfile;
+use tt_hw::trace::{self, SwitchDir, SyscallKind, TraceEvent};
 use tt_hw::PtrU8;
 
 /// Result of one application step.
@@ -165,6 +166,7 @@ impl Kernel {
         self.upcalls.push(None);
         self.subscriptions.push(Vec::new());
         self.restarts.push(0);
+        trace::record(TraceEvent::ProcessLoad { pid: pid as u32 });
         Ok(pid)
     }
 
@@ -191,6 +193,7 @@ impl Kernel {
         self.upcalls[pid] = None;
         self.subscriptions[pid].clear();
         self.restarts[pid] += 1;
+        trace::record(TraceEvent::ProcessRestart { pid: pid as u32 });
         Ok(())
     }
 
@@ -211,6 +214,11 @@ impl Kernel {
     pub fn user_read_u32(&mut self, pid: usize, addr: usize) -> Result<u32, BusFault> {
         charge(Cost::Load);
         if let Err(f) = self.user_check(addr, 4, AccessType::Read) {
+            trace::record(TraceEvent::BusFault {
+                pid: pid as u32,
+                addr: addr as u32,
+                write: false,
+            });
             self.fault_process(pid, &format!("{f}"));
             return Err(f);
         }
@@ -229,6 +237,11 @@ impl Kernel {
     pub fn user_write_u32(&mut self, pid: usize, addr: usize, value: u32) -> Result<(), BusFault> {
         charge(Cost::Store);
         if let Err(f) = self.user_check(addr, 4, AccessType::Write) {
+            trace::record(TraceEvent::BusFault {
+                pid: pid as u32,
+                addr: addr as u32,
+                write: true,
+            });
             self.fault_process(pid, &format!("{f}"));
             return Err(f);
         }
@@ -243,6 +256,11 @@ impl Kernel {
     pub fn user_write_u8(&mut self, pid: usize, addr: usize, value: u8) -> Result<(), BusFault> {
         charge(Cost::Store);
         if let Err(f) = self.user_check(addr, 1, AccessType::Write) {
+            trace::record(TraceEvent::BusFault {
+                pid: pid as u32,
+                addr: addr as u32,
+                write: true,
+            });
             self.fault_process(pid, &format!("{f}"));
             return Err(f);
         }
@@ -269,6 +287,13 @@ impl Kernel {
     /// both kernels pay equally.
     pub fn sys_brk(&mut self, pid: usize, new_break: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception); // SVC entry.
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::Brk,
+            arg0: new_break as u32,
+            arg1: 0,
+            arg2: 0,
+        });
         let result = self.processes[pid]
             .brk(PtrU8::new(new_break))
             .map_err(|e| match e {
@@ -277,6 +302,12 @@ impl Kernel {
             });
         // Context switch back into the process: apply the staged config.
         self.processes[pid].setup_mpu();
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::Brk,
+            ok: result.is_ok(),
+            value: 0,
+        });
         charge(Cost::Exception); // SVC return.
         result
     }
@@ -284,6 +315,13 @@ impl Kernel {
     /// `sbrk`: adjust the app break by a delta; returns the new break.
     pub fn sys_sbrk(&mut self, pid: usize, delta: isize) -> Result<usize, ErrorCode> {
         charge(Cost::Exception);
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::Sbrk,
+            arg0: delta as i32 as u32,
+            arg1: 0,
+            arg2: 0,
+        });
         let result = if delta == 0 {
             Ok(self.processes[pid].app_break())
         } else {
@@ -296,6 +334,12 @@ impl Kernel {
                 })
         };
         self.processes[pid].setup_mpu();
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::Sbrk,
+            ok: result.is_ok(),
+            value: result.map_or(0, |v| v as u32),
+        });
         charge(Cost::Exception);
         result
     }
@@ -303,6 +347,13 @@ impl Kernel {
     /// `memop`: introspection operations (Tock's memop syscall).
     pub fn sys_memop(&mut self, pid: usize, op: u32) -> Result<usize, ErrorCode> {
         charge(Cost::Exception);
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::Memop,
+            arg0: op,
+            arg1: 0,
+            arg2: 0,
+        });
         let p = &self.processes[pid];
         let v = match op {
             1 => p.app_break(),
@@ -310,8 +361,22 @@ impl Kernel {
             3 => p.memory_start() + p.memory_size(),
             4 => p.image.flash_start.as_usize(),
             5 => p.image.flash_start.as_usize() + p.image.flash_size,
-            _ => return Err(ErrorCode::Invalid),
+            _ => {
+                trace::record(TraceEvent::SyscallExit {
+                    pid: pid as u32,
+                    call: SyscallKind::Memop,
+                    ok: false,
+                    value: 0,
+                });
+                return Err(ErrorCode::Invalid);
+            }
         };
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::Memop,
+            ok: true,
+            value: v as u32,
+        });
         charge(Cost::Exception);
         Ok(v)
     }
@@ -320,9 +385,22 @@ impl Kernel {
     /// subscription, the driver's events are dropped (Tock semantics).
     pub fn sys_subscribe(&mut self, pid: usize, driver_num: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception);
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::Subscribe,
+            arg0: driver_num as u32,
+            arg1: 0,
+            arg2: 0,
+        });
         if !self.subscriptions[pid].contains(&driver_num) {
             self.subscriptions[pid].push(driver_num);
         }
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::Subscribe,
+            ok: true,
+            value: 0,
+        });
         charge(Cost::Exception);
         Ok(())
     }
@@ -337,15 +415,33 @@ impl Kernel {
         if self.processes[pid].state == ProcessState::Yielded {
             self.processes[pid].state = ProcessState::Ready;
         }
+        trace::record(TraceEvent::UpcallDeliver {
+            pid: pid as u32,
+            driver: driver_num as u32,
+            value,
+        });
         true
     }
 
     /// `allow_readonly`: share a read-only buffer with a driver.
     pub fn sys_allow_ro(&mut self, pid: usize, addr: usize, len: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception);
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::AllowRo,
+            arg0: addr as u32,
+            arg1: len as u32,
+            arg2: 0,
+        });
         let r = self.processes[pid]
             .build_readonly_buffer(PtrU8::new(addr), len)
             .map_err(|_| ErrorCode::Invalid);
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::AllowRo,
+            ok: r.is_ok(),
+            value: 0,
+        });
         charge(Cost::Exception);
         r
     }
@@ -353,9 +449,22 @@ impl Kernel {
     /// `allow_readwrite`: share a writable buffer with a driver.
     pub fn sys_allow_rw(&mut self, pid: usize, addr: usize, len: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception);
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::AllowRw,
+            arg0: addr as u32,
+            arg1: len as u32,
+            arg2: 0,
+        });
         let r = self.processes[pid]
             .build_readwrite_buffer(PtrU8::new(addr), len)
             .map_err(|_| ErrorCode::Invalid);
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::AllowRw,
+            ok: r.is_ok(),
+            value: 0,
+        });
         charge(Cost::Exception);
         r
     }
@@ -369,7 +478,20 @@ impl Kernel {
         arg: u32,
     ) -> Result<u32, ErrorCode> {
         charge(Cost::Exception);
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::Command,
+            arg0: driver_num as u32,
+            arg1: cmd,
+            arg2: arg,
+        });
         let result = self.dispatch_command(pid, driver_num, cmd, arg);
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::Command,
+            ok: result.is_ok(),
+            value: result.unwrap_or(0),
+        });
         charge(Cost::Exception);
         result
     }
@@ -509,16 +631,33 @@ impl Kernel {
     /// (user-mode writes), `allow_ro` the buffer, and invoke the console —
     /// the full syscall path, not a shortcut.
     pub fn sys_print(&mut self, pid: usize, text: &str) -> Result<(), ErrorCode> {
+        trace::record(TraceEvent::SyscallEnter {
+            pid: pid as u32,
+            call: SyscallKind::Print,
+            arg0: text.len() as u32,
+            arg1: 0,
+            arg2: 0,
+        });
         let base = self.processes[pid].memory_start() + 64;
         let bytes = text.as_bytes().to_vec();
-        for (i, b) in bytes.iter().enumerate() {
-            if self.user_write_u8(pid, base + i, *b).is_err() {
-                return Err(ErrorCode::Fail);
+        let mut inner = || -> Result<(), ErrorCode> {
+            for (i, b) in bytes.iter().enumerate() {
+                if self.user_write_u8(pid, base + i, *b).is_err() {
+                    return Err(ErrorCode::Fail);
+                }
             }
-        }
-        self.sys_allow_ro(pid, base, bytes.len())?;
-        self.sys_command(pid, driver::CONSOLE, 1, 0)?;
-        Ok(())
+            self.sys_allow_ro(pid, base, bytes.len())?;
+            self.sys_command(pid, driver::CONSOLE, 1, 0)?;
+            Ok(())
+        };
+        let r = inner();
+        trace::record(TraceEvent::SyscallExit {
+            pid: pid as u32,
+            call: SyscallKind::Print,
+            ok: r.is_ok(),
+            value: 0,
+        });
+        r
     }
 
     /// Copies `src`'s allowed read-only buffer into `dst`'s allowed
@@ -555,6 +694,7 @@ impl Kernel {
         let report = format!("{reason}; {}", self.processes[pid].layout_report());
         self.processes[pid].fault(reason.to_string());
         self.fault_log.push((pid, report));
+        trace::record(TraceEvent::ProcessFault { pid: pid as u32 });
     }
 
     // ---- Scheduler ------------------------------------------------------
@@ -590,6 +730,11 @@ impl Kernel {
                 // Context switch in: configure the MPU for this process
                 // and pay the exception-entry cost.
                 charge(Cost::Exception);
+                trace::set_current_pid(pid as u32);
+                trace::record(TraceEvent::ContextSwitch {
+                    pid: pid as u32,
+                    dir: SwitchDir::In,
+                });
                 self.processes[pid].setup_mpu();
                 for _ in 0..QUANTUM {
                     if self.processes[pid].state != ProcessState::Ready {
@@ -608,7 +753,12 @@ impl Kernel {
                     }
                 }
                 // Context switch out: kernel disables user protection (§2.1).
+                trace::record(TraceEvent::ContextSwitch {
+                    pid: pid as u32,
+                    dir: SwitchDir::Out,
+                });
                 self.machine.disable_user_protection();
+                trace::set_current_pid(tt_hw::trace::NO_PID);
                 charge(Cost::Exception);
                 // Apply the fault policy (needs a factory to respawn the
                 // program alongside the process memory).

@@ -15,6 +15,7 @@ pub mod kernel;
 pub mod loader;
 pub mod machine;
 pub mod process;
+pub mod trace;
 
 pub use kernel::{App, ErrorCode, Kernel, Step};
 pub use loader::{flash_app, flash_many, AppImage, LoadError};

@@ -659,6 +659,9 @@ impl Process {
     /// Writes this process's MPU configuration into the hardware, run at
     /// every context switch into the process (Fig. 11 `setup_mpu`).
     pub fn setup_mpu(&self) {
+        tt_hw::trace::record(tt_hw::trace::TraceEvent::MpuCommit {
+            pid: self.pid as u32,
+        });
         let backend = &self.backend;
         tt_hw::cycles::instrument("setup_mpu", || backend.setup_mpu())
     }

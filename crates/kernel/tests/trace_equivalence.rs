@@ -1,0 +1,75 @@
+//! Property tests for the trace-equivalence oracle: across randomized
+//! release-suite schedules on every `ChipProfile`,
+//!
+//! * Tock (`Legacy(Fixed)`) and TickTock (`Granular`) are observably
+//!   trace-equivalent on every test where §6.1 expects no difference, and
+//! * every flavor (including the buggy legacy variants) is deterministic:
+//!   two runs of the same schedule produce identical full-scope traces.
+
+use proptest::prelude::*;
+use tt_hw::platform::ALL_CHIPS;
+use tt_kernel::apps::release_tests;
+use tt_kernel::differential::run_one_on;
+use tt_kernel::process::Flavor;
+use tt_kernel::trace::{diff_traces, render_divergence, TraceScope};
+use tt_legacy::BugVariant;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cross-flavor equivalence the differential oracle gates on.
+    #[test]
+    fn flavors_are_observably_trace_equivalent(
+        chip_idx in 0usize..ALL_CHIPS.len(),
+        schedule in proptest::collection::vec(0usize..21, 1..4),
+    ) {
+        let chip = &ALL_CHIPS[chip_idx];
+        let tests = release_tests();
+        for &t in &schedule {
+            let test = &tests[t];
+            let tock = run_one_on(test, Flavor::Legacy(BugVariant::Fixed), chip);
+            let ticktock = run_one_on(test, Flavor::Granular, chip);
+            let d = diff_traces(&tock.trace, &ticktock.trace, TraceScope::Observable);
+            if test.spec.expect_differs {
+                // §6.1 expected differences (layout/sensor tests) may
+                // legitimately diverge; nothing to assert about `d`.
+                continue;
+            }
+            prop_assert!(
+                d.is_none(),
+                "{} on {}: {}",
+                test.spec.name,
+                chip.name,
+                render_divergence(d.as_ref().unwrap(), "tock", "ticktock")
+            );
+            prop_assert_eq!(tock.console, ticktock.console);
+        }
+    }
+
+    /// Full-scope determinism: any flavor, run twice, traces identically
+    /// down to the register values.
+    #[test]
+    fn every_flavor_is_trace_deterministic(
+        chip_idx in 0usize..ALL_CHIPS.len(),
+        test_idx in 0usize..21,
+        flavor_idx in 0usize..3,
+    ) {
+        let chip = &ALL_CHIPS[chip_idx];
+        let flavor = [
+            Flavor::Legacy(BugVariant::Fixed),
+            Flavor::Legacy(BugVariant::Buggy),
+            Flavor::Granular,
+        ][flavor_idx];
+        let test = &release_tests()[test_idx];
+        let a = run_one_on(test, flavor, chip);
+        let b = run_one_on(test, flavor, chip);
+        let d = diff_traces(&a.trace, &b.trace, TraceScope::Full);
+        prop_assert!(
+            d.is_none(),
+            "{} ({flavor:?}) on {}: {}",
+            test.spec.name,
+            chip.name,
+            render_divergence(d.as_ref().unwrap(), "run-a", "run-b")
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The ISSUE acceptance test for the trace oracle: injecting a known
+//! divergence (the `BugVariant::Buggy` legacy allocator) makes
+//! `diff_traces` report a first-divergent-event that names the faulty MPU
+//! register commit.
+
+use tt_hw::platform::{ESP32_C3, NRF52840DK};
+use tt_kernel::differential::{app_flash_base, TRACE_CAPACITY};
+use tt_kernel::loader::flash_app;
+use tt_kernel::process::Flavor;
+use tt_kernel::trace::{self, diff_traces, RegName, Trace, TraceEvent, TraceScope};
+use tt_kernel::Kernel;
+use tt_legacy::BugVariant;
+
+/// Boots a legacy kernel, loads one app, and issues a `brk` that the
+/// fixed allocator must reject: on ARM, `brk(memory_start)` shrinks the
+/// app region to nothing (`new_break <= region_start`); on RISC-V, a
+/// grant is allocated first (moving the kernel break down) and the brk
+/// then grows the app region over it. The buggy variant's missing/wrong
+/// validation (tock#4366 / #2173 class) lets the break through and
+/// commits a wrong MPU configuration — which the trace records.
+fn brk_attack_trace(variant: BugVariant, chip: &tt_hw::platform::ChipProfile) -> (Trace, bool) {
+    tt_hw::cycles::reset();
+    trace::enable(TRACE_CAPACITY);
+    let mut k = Kernel::boot(Flavor::Legacy(variant), chip);
+    let img = flash_app(&mut k.mem, app_flash_base(chip), "t", 0x1000, 3000, 1024).unwrap();
+    let pid = k.load_process(&img).unwrap();
+    let target = if matches!(chip.arch, tt_hw::platform::Arch::CortexM) {
+        k.processes[pid].memory_start()
+    } else {
+        // Carve a grant out of the top of the block, then try to grow the
+        // app region over the whole block (grant included).
+        k.processes[pid].allocate_grant(0, 256).unwrap();
+        k.processes[pid].memory_start() + k.processes[pid].memory_size()
+    };
+    let ok = k.sys_brk(pid, target).is_ok();
+    let t = trace::take();
+    trace::disable();
+    (t, ok)
+}
+
+fn is_mpu_commit_event(ev: &Option<TraceEvent>) -> bool {
+    matches!(
+        ev,
+        Some(TraceEvent::RegWrite { .. }) | Some(TraceEvent::MpuCommit { .. })
+    )
+}
+
+#[test]
+fn buggy_arm_allocator_divergence_names_the_faulty_register_commit() {
+    let (buggy, buggy_ok) = brk_attack_trace(BugVariant::Buggy, &NRF52840DK);
+    let (fixed, fixed_ok) = brk_attack_trace(BugVariant::Fixed, &NRF52840DK);
+    // The injected bug admits the bad break; the fixed allocator rejects it.
+    assert!(buggy_ok && !fixed_ok);
+
+    let d = diff_traces(&buggy, &fixed, TraceScope::Full)
+        .expect("buggy and fixed kernels must trace-diverge");
+    // The first divergent event is part of the MPU register commit the
+    // buggy allocator should never have made.
+    assert!(
+        is_mpu_commit_event(&d.left) || is_mpu_commit_event(&d.right),
+        "divergence should name an MPU register commit, got {d:?}"
+    );
+    // The buggy commit programs RASR subregion-disable bits the fixed
+    // kernel never writes (the shrunk-to-nothing app region).
+    let rasr_values = |t: &Trace| -> Vec<u32> {
+        t.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RegWrite {
+                    reg: RegName::Rasr,
+                    value,
+                    ..
+                } => Some(*value),
+                _ => None,
+            })
+            .collect()
+    };
+    let fixed_rasr = rasr_values(&fixed);
+    let faulty: Vec<u32> = rasr_values(&buggy)
+        .into_iter()
+        .filter(|v| !fixed_rasr.contains(v))
+        .collect();
+    assert!(
+        !faulty.is_empty(),
+        "buggy kernel should commit RASR values the fixed kernel never writes"
+    );
+}
+
+#[test]
+fn buggy_riscv_allocator_divergence_names_the_faulty_pmp_commit() {
+    let (buggy, buggy_ok) = brk_attack_trace(BugVariant::Buggy, &ESP32_C3);
+    let (fixed, fixed_ok) = brk_attack_trace(BugVariant::Fixed, &ESP32_C3);
+    assert!(buggy_ok && !fixed_ok);
+
+    let d = diff_traces(&buggy, &fixed, TraceScope::Full)
+        .expect("buggy and fixed kernels must trace-diverge");
+    assert!(
+        is_mpu_commit_event(&d.left) || is_mpu_commit_event(&d.right),
+        "divergence should name a PMP register commit, got {d:?}"
+    );
+    // The buggy commit programs a pmpaddr bound past the grant region —
+    // an address the fixed kernel never writes.
+    let addr_values = |t: &Trace| -> Vec<u32> {
+        t.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RegWrite {
+                    reg: RegName::PmpAddr,
+                    value,
+                    ..
+                } => Some(*value),
+                _ => None,
+            })
+            .collect()
+    };
+    let fixed_addrs = addr_values(&fixed);
+    assert!(
+        addr_values(&buggy).iter().any(|v| !fixed_addrs.contains(v)),
+        "buggy kernel should program a PMP bound the fixed kernel never writes"
+    );
+}
+
+#[test]
+fn divergence_is_visible_in_observable_scope_too() {
+    // The bad break succeeds on the buggy kernel and fails on the fixed
+    // one — an app-observable difference, caught without register events.
+    let (buggy, _) = brk_attack_trace(BugVariant::Buggy, &NRF52840DK);
+    let (fixed, _) = brk_attack_trace(BugVariant::Fixed, &NRF52840DK);
+    let d = diff_traces(&buggy, &fixed, TraceScope::Observable).expect("observable divergence");
+    assert!(
+        matches!(
+            (&d.left, &d.right),
+            (
+                Some(TraceEvent::SyscallExit { ok: true, .. }),
+                Some(TraceEvent::SyscallExit { ok: false, .. })
+            )
+        ),
+        "expected brk ok/err divergence, got {d:?}"
+    );
+}
+
+#[test]
+fn identical_kernels_produce_identical_traces() {
+    let (a, _) = brk_attack_trace(BugVariant::Fixed, &NRF52840DK);
+    let (b, _) = brk_attack_trace(BugVariant::Fixed, &NRF52840DK);
+    assert_eq!(diff_traces(&a, &b, TraceScope::Full), None);
+}

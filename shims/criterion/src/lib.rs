@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal benchmark harness with the same surface as
+//! the slice of `criterion 0.5` the benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `iter`/`iter_batched`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurements are simple wall-clock medians over a fixed number of
+//! iterations — good enough to eyeball the paper's relative comparisons,
+//! with none of criterion's statistics, plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Re-export spot for `criterion::black_box` users.
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` (string or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts into a rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// How `iter_batched` amortizes setup (accepted, otherwise ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+const SAMPLES: usize = 15;
+
+impl Bencher {
+    /// Times `routine` over a fixed number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..SAMPLES {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!("{label:<50} median {:>12.3?}", b.median());
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        Self::run_one(&id.into_label(), &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time here is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        Criterion::run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        Criterion::run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), SAMPLES);
+        assert!(b.median() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn group_and_ids_render() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("f", 3), |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &5usize, |b, &n| {
+            b.iter_batched(|| n, |x| x + 1, BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| {
+            b.iter_batched_ref(Vec::<u32>::new, |v| v.push(1), BatchSize::SmallInput)
+        });
+    }
+}
