@@ -1,0 +1,96 @@
+//! Criterion bench for the PR 2 MPU commit cache: wall-clock cost of the
+//! switch-in `setup_mpu` call, warm (cache hit) vs cold (post-`brk`
+//! generation bump) vs cache-off baseline, on one ARM and one RISC-V
+//! chip.
+//!
+//! The cycle-model counterpart lives in `tt_bench::switch` (and the
+//! `fig11_cycles --json` artifact); this bench confirms the same ordering
+//! holds for real wall-clock time of the simulated operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tt_hw::platform::{ChipProfile, EARLGREY, NRF52840DK};
+use tt_hw::PtrU8;
+use tt_kernel::loader::flash_app;
+use tt_kernel::machine::Machine;
+use tt_kernel::process::{Flavor, Process};
+
+fn chips() -> [(&'static str, &'static ChipProfile); 2] {
+    [("arm", &NRF52840DK), ("riscv", &EARLGREY)]
+}
+
+fn mk(chip: &ChipProfile) -> (Machine, Process) {
+    let mut mem = chip.memory();
+    let img = flash_app(
+        &mut mem,
+        chip.map.flash.start + 0x4_0000,
+        "bench",
+        0x1000,
+        3000,
+        2048,
+    )
+    .unwrap();
+    let machine = Machine::for_chip(chip);
+    let p = Process::create(
+        0,
+        Flavor::Granular,
+        &machine,
+        &img,
+        PtrU8::new(chip.map.ram.start),
+        0x2_0000,
+    )
+    .unwrap();
+    p.setup_mpu();
+    (machine, p)
+}
+
+fn bench_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_switch_warm");
+    for (arch, chip) in chips() {
+        group.bench_function(BenchmarkId::from_parameter(arch), |b| {
+            let (machine, p) = mk(chip);
+            b.iter(|| {
+                machine.disable_user_protection();
+                p.setup_mpu()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_switch_cold");
+    for (arch, chip) in chips() {
+        group.bench_function(BenchmarkId::from_parameter(arch), |b| {
+            let (machine, mut p) = mk(chip);
+            let mut toggle = false;
+            b.iter(|| {
+                // brk traffic between switches moves the generation, so
+                // every switch-in is a cache miss (a real re-commit).
+                toggle = !toggle;
+                p.sbrk(if toggle { 32 } else { -32 }).unwrap();
+                machine.disable_user_protection();
+                p.setup_mpu()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_switch_cache_off");
+    for (arch, chip) in chips() {
+        group.bench_function(BenchmarkId::from_parameter(arch), |b| {
+            let (machine, p) = mk(chip);
+            b.iter(|| {
+                tt_hw::commit_cache::with_disabled(|| {
+                    machine.disable_user_protection();
+                    p.setup_mpu()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm, bench_cold, bench_baseline);
+criterion_main!(benches);

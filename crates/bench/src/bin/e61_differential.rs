@@ -7,14 +7,28 @@
 //! With `--trace`, additionally prints the first observable trace
 //! divergence for every differing test (not just the console diff), using
 //! the trace-equivalence oracle in `tt_kernel::trace`.
+//!
+//! With `--json [path]`, runs the suite on all seven chip profiles
+//! (fanned out over scoped threads; `TT_BENCH_THREADS` caps the per-chip
+//! workers) and writes `BENCH_e61.json` with the per-chip 21/5 shape and
+//! the suite wall-clock.
 
 use std::process::ExitCode;
 
-use tt_kernel::differential::{render_report, run_release_suite};
+use tt_bench::json;
+use tt_kernel::differential::{render_report, run_release_suite, run_release_suite_all_chips};
 use tt_kernel::trace::render_divergence;
 
 fn main() -> ExitCode {
-    let trace_mode = std::env::args().any(|a| a == "--trace");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_mode = args.iter().any(|a| a == "--trace");
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_e61.json".into())
+    });
+
     println!("Section 6.1: Differential testing (Tock vs TickTock, 21 release tests)");
     let results = run_release_suite();
     println!("{}", render_report(&results));
@@ -32,11 +46,56 @@ fn main() -> ExitCode {
         }
     }
     println!("(paper: 21 tests, 5 differing — all layout- or sensor-dependent)");
-    let unexpected: Vec<&str> = results
+    let mut unexpected: Vec<String> = results
         .iter()
         .filter(|r| r.matches() == r.expect_differs)
-        .map(|r| r.name)
+        .map(|r| r.name.to_string())
         .collect();
+
+    if let Some(path) = json_path {
+        let started = std::time::Instant::now();
+        let per_chip = run_release_suite_all_chips();
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut doc = String::new();
+        doc.push_str("{\n  \"experiment\": \"e61_differential\",\n");
+        doc.push_str(&format!("  \"wall_clock_ms\": {},\n", json::num(wall_ms)));
+        doc.push_str("  \"chips\": [\n");
+        for (i, (chip, results)) in per_chip.iter().enumerate() {
+            let differing = results.iter().filter(|r| !r.matches()).count();
+            let chip_unexpected: Vec<&str> = results
+                .iter()
+                .filter(|r| r.matches() == r.expect_differs)
+                .map(|r| r.name)
+                .collect();
+            // matches() requires observable-trace equivalence, so this
+            // counts divergences only among the expected console diffs.
+            let divergent = results
+                .iter()
+                .filter(|r| r.trace_divergence.is_some())
+                .count();
+            unexpected.extend(
+                chip_unexpected
+                    .iter()
+                    .map(|name| format!("{}:{name}", chip.name)),
+            );
+            doc.push_str(&format!(
+                "    {{\"chip\": \"{}\", \"tests\": {}, \"differing\": {}, \"unexpected\": {}, \"observable_divergences\": {}}}{}\n",
+                json::escape(chip.name),
+                results.len(),
+                differing,
+                chip_unexpected.len(),
+                divergent,
+                if i + 1 < per_chip.len() { "," } else { "" }
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} chips, {:.0} ms)", per_chip.len(), wall_ms);
+    }
+
     if !unexpected.is_empty() {
         eprintln!("UNEXPECTED differential results: {unexpected:?}");
         return ExitCode::FAILURE;

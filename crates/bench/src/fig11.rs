@@ -160,10 +160,23 @@ mod tests {
             create.pct()
         );
         let setup = get("setup_mpu");
+        // Pre-cache this was the paper's small +8% regression. With the
+        // PR 2 commit cache, most granular switch-ins are hits (a single
+        // MPU_CTRL write), while legacy commits carry no generation and
+        // always re-commit — setup_mpu flips to a large win.
         assert!(
-            setup.pct() > 0.0 && setup.pct() < 25.0,
-            "setup_mpu should be a small regression: {:+.1}%",
+            setup.pct() < -50.0,
+            "setup_mpu should be a large win with the commit cache: {:+.1}%",
             setup.pct()
+        );
+        // With the cache forced off the paper's original shape returns:
+        // a positive (but bounded) setup_mpu regression.
+        let before = tt_hw::commit_cache::with_disabled(|| run(1));
+        let setup_before = before.iter().find(|r| r.method == "setup_mpu").unwrap();
+        assert!(
+            setup_before.pct() > 0.0 && setup_before.pct() < 25.0,
+            "setup_mpu without the cache should match the paper: {:+.1}%",
+            setup_before.pct()
         );
     }
 

@@ -1,0 +1,72 @@
+//! Minimal hand-rolled JSON emission for the `BENCH_*.json` artifacts.
+//!
+//! The benchmark binaries emit small, flat documents; a serialisation
+//! dependency would be overkill (and the build is deliberately
+//! dependency-frozen), so the helpers here cover exactly what the bins
+//! need: escaped strings, f64 formatting that is valid JSON, and a
+//! scanner good enough to read back the committed baseline file.
+
+/// Escapes a string for use inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity; both map
+/// to `null`).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Extracts the numeric value of `"key": <number>` from a flat JSON
+/// document. Good enough for the committed `ci/bench_baseline.json`,
+/// which this crate also writes; not a general parser.
+pub fn read_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn num_is_always_valid_json() {
+        assert_eq!(num(4.0), "4.00");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn read_number_round_trips_what_we_write() {
+        let doc = format!("{{\n  \"arm_hit\": {},\n  \"riscv_hit\": {}\n}}\n", 4, 0);
+        assert_eq!(read_number(&doc, "arm_hit"), Some(4.0));
+        assert_eq!(read_number(&doc, "riscv_hit"), Some(0.0));
+        assert_eq!(read_number(&doc, "missing"), None);
+    }
+}

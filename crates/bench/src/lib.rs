@@ -18,6 +18,8 @@ pub mod e62;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod json;
+pub mod switch;
 
 /// Formats a `±x.xx%` difference the way Fig. 11 prints it.
 pub fn pct_diff(ticktock: f64, tock: f64) -> String {

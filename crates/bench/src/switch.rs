@@ -1,0 +1,157 @@
+//! Context-switch-in cost under the PR 2 MPU commit cache.
+//!
+//! The quantity the cache optimises is the `setup_mpu` call on the
+//! switch-in edge. Three variants are measured per chip, in cycles of the
+//! `tt_hw::cycles` model:
+//!
+//! * **hit** — the process whose configuration is live in the register
+//!   file is switched back in unchanged. On ARM this pays a single
+//!   MPU_CTRL re-enable; on RISC-V it is free (the kernel never disabled
+//!   anything).
+//! * **miss** — the process ran `brk`/`sbrk` since its last commit, so the
+//!   generation moved and the switch-in must re-commit (diff-commit still
+//!   elides registers whose values are unchanged).
+//! * **baseline** — the pre-cache kernel: caching and register-file
+//!   elision forced off via [`tt_hw::commit_cache::with_disabled`], every
+//!   switch-in recommits every register.
+
+use tt_hw::cycles;
+use tt_hw::platform::{Arch, ChipProfile};
+use tt_kernel::loader::flash_app;
+use tt_kernel::process::Flavor;
+use tt_kernel::Kernel;
+
+/// Context-switch-in cycle costs for one chip.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchCost {
+    /// Chip name.
+    pub chip: &'static str,
+    /// `"arm"` or `"riscv"`.
+    pub arch: &'static str,
+    /// Cache-hit switch-in cycles.
+    pub hit: u64,
+    /// Cache-miss (post-`sbrk`) switch-in cycles.
+    pub miss: u64,
+    /// Cache-disabled (pre-PR-2) switch-in cycles.
+    pub baseline: u64,
+}
+
+impl SwitchCost {
+    /// Percentage reduction of the cache-hit path relative to the
+    /// cache-off baseline (the PR's acceptance number: ≥ 30%).
+    pub fn hit_reduction_pct(&self) -> f64 {
+        if self.baseline == 0 {
+            return 0.0;
+        }
+        (self.baseline - self.hit) as f64 / self.baseline as f64 * 100.0
+    }
+}
+
+/// Short architecture label for a chip profile.
+pub fn arch_name(chip: &ChipProfile) -> &'static str {
+    match chip.arch {
+        Arch::CortexM => "arm",
+        Arch::Riscv32(_) => "riscv",
+    }
+}
+
+/// Measures hit/miss/baseline switch-in cycles on one chip.
+///
+/// The run is fully deterministic: the cycle model is thread-local and
+/// the simulator has no timing noise, so the numbers are exact counts,
+/// not means.
+pub fn measure_on(chip: &ChipProfile) -> SwitchCost {
+    cycles::reset();
+    let mut kernel = Kernel::boot(Flavor::Granular, chip);
+    let image = flash_app(
+        &mut kernel.mem,
+        chip.map.flash.start + 0x4_0000,
+        "switch",
+        0x1000,
+        4096,
+        2048,
+    )
+    .unwrap();
+    let pid = kernel.load_process(&image).unwrap();
+    // First switch-in: full commit, populates the cache.
+    kernel.processes[pid].setup_mpu();
+
+    // Hit: kernel ran in between (user protection dropped), process
+    // memory untouched.
+    kernel.machine.disable_user_protection();
+    let ((), hit) = cycles::measure(|| kernel.processes[pid].setup_mpu());
+
+    // Miss: the process grew its break since the last commit, so the
+    // generation moved and the switch-in must re-commit.
+    kernel.processes[pid].sbrk(64).unwrap();
+    kernel.machine.disable_user_protection();
+    let ((), miss) = cycles::measure(|| kernel.processes[pid].setup_mpu());
+
+    // Baseline: the pre-cache kernel. Forcing the toggle off disables the
+    // machine-level cache AND the register-file elision, so this is the
+    // exact cost every switch-in paid before PR 2.
+    let baseline = tt_hw::commit_cache::with_disabled(|| {
+        kernel.machine.disable_user_protection();
+        let ((), cost) = cycles::measure(|| kernel.processes[pid].setup_mpu());
+        cost
+    });
+
+    SwitchCost {
+        chip: chip.name,
+        arch: arch_name(chip),
+        hit,
+        miss,
+        baseline,
+    }
+}
+
+/// Measures all seven chip profiles.
+pub fn measure_all() -> Vec<SwitchCost> {
+    tt_hw::platform::ALL_CHIPS.iter().map(measure_on).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_cuts_switch_in_cost_at_least_30pct_on_both_arches() {
+        // The PR's acceptance number, checked on every chip.
+        for cost in measure_all() {
+            assert!(
+                cost.hit_reduction_pct() >= 30.0,
+                "{} ({}): hit {} vs baseline {} is only {:.1}%",
+                cost.chip,
+                cost.arch,
+                cost.hit,
+                cost.baseline,
+                cost.hit_reduction_pct()
+            );
+            assert!(
+                cost.hit < cost.miss && cost.miss <= cost.baseline,
+                "{}: expected hit < miss <= baseline, got {} / {} / {}",
+                cost.chip,
+                cost.hit,
+                cost.miss,
+                cost.baseline
+            );
+        }
+    }
+
+    #[test]
+    fn riscv_hits_are_free_and_arm_hits_pay_one_ctrl_write() {
+        for cost in measure_all() {
+            match cost.arch {
+                "riscv" => assert_eq!(cost.hit, 0, "{}", cost.chip),
+                _ => assert_eq!(cost.hit, 4, "{} (one MPU_CTRL write)", cost.chip),
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let a = measure_on(&tt_hw::platform::NRF52840DK);
+        let b = measure_on(&tt_hw::platform::NRF52840DK);
+        assert_eq!((a.hit, a.miss, a.baseline), (b.hit, b.miss, b.baseline));
+    }
+}

@@ -64,6 +64,24 @@ pub struct AppMemoryAllocator<M: Mpu> {
     pub breaks: AppBreaks,
     /// The staged MPU configuration, one descriptor per hardware slot.
     pub regions: RArray<M::Region>,
+    /// Commit-cache generation: taken fresh from a thread-global monotonic
+    /// counter at construction and on every mutation, so no two logical
+    /// configurations — not even across a process restart that rebuilds an
+    /// identical layout — ever share a generation number.
+    generation: u64,
+}
+
+thread_local! {
+    static NEXT_GENERATION: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
+}
+
+/// Draws the next commit-cache generation number.
+fn next_generation() -> u64 {
+    NEXT_GENERATION.with(|g| {
+        let v = g.get();
+        g.set(v + 1);
+        v
+    })
 }
 
 impl<M: Mpu> AppMemoryAllocator<M> {
@@ -207,7 +225,11 @@ impl<M: Mpu> AppMemoryAllocator<M> {
         regions.set(MAX_RAM_REGION_NUMBER, pair.snd);
         regions.set(FLASH_REGION_NUMBER, flash_region);
 
-        let alloc = Self { breaks, regions };
+        let alloc = Self {
+            breaks,
+            regions,
+            generation: next_generation(),
+        };
         alloc.check_invariants();
         Ok(alloc)
     }
@@ -242,6 +264,7 @@ impl<M: Mpu> AppMemoryAllocator<M> {
         self.breaks
             .set_app_break(new_app_break)
             .map_err(|_| UpdateError::InvalidBreak)?;
+        self.generation = next_generation();
         self.check_invariants();
         Ok(())
     }
@@ -267,6 +290,10 @@ impl<M: Mpu> AppMemoryAllocator<M> {
         self.breaks
             .set_kernel_break(PtrU8::new(new_kb))
             .map_err(|_| UpdateError::OutOfGrantMemory)?;
+        // The staged regions are untouched, but the grant shrinks the
+        // kernel break that `cannot_access_other` is judged against — a
+        // cached "nothing changed" verdict must not survive it.
+        self.generation = next_generation();
         self.check_invariants();
         Ok(PtrU8::new(new_kb))
     }
@@ -282,6 +309,13 @@ impl<M: Mpu> AppMemoryAllocator<M> {
             return false;
         };
         start >= self.breaks.memory_start.as_usize() && end <= self.breaks.app_break.as_usize()
+    }
+
+    /// Returns the commit-cache generation of the staged configuration.
+    /// Any mutation (`allocate_app_memory`, `update_app_memory`,
+    /// `allocate_grant`) moves this to a fresh, never-reused number.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Writes the staged configuration into the MPU (`setup_mpu`, run at
@@ -361,6 +395,31 @@ mod tests {
             );
         }
         assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn every_mutation_moves_the_generation_forward() {
+        let mut a = alloc_arm(3000, 1024);
+        let g0 = a.generation();
+        a.allocate_grant(64).unwrap();
+        let g1 = a.generation();
+        assert!(g1 > g0, "grant allocation must bump the generation");
+        let brk = PtrU8::new(a.breaks.memory_start.as_usize() + 1024);
+        a.update_app_memory(brk).unwrap();
+        let g2 = a.generation();
+        assert!(g2 > g1, "brk must bump the generation");
+        // A second allocator with the same layout never shares a number.
+        let b = alloc_arm(3000, 1024);
+        assert!(b.generation() > g2);
+    }
+
+    #[test]
+    fn failed_mutations_leave_the_generation_alone() {
+        let mut a = alloc_arm(3000, 1024);
+        let g0 = a.generation();
+        assert!(a.update_app_memory(PtrU8::new(0)).is_err());
+        assert!(a.allocate_grant(usize::MAX / 2).is_err());
+        assert_eq!(a.generation(), g0);
     }
 
     #[test]

@@ -381,6 +381,19 @@ impl Mpu for GranularCortexM {
     fn disable_mpu(&self) {
         self.hardware.borrow_mut().write_ctrl(false, true);
     }
+
+    fn reenable_mpu(&self) {
+        // The scheduler disables MPU_CTRL on every switch-out, so even a
+        // cache hit must pay this one write to restore enforcement.
+        self.hardware.borrow_mut().write_ctrl(true, true);
+    }
+
+    fn hardware_matches(&self, regions: &[CortexMRegion]) -> bool {
+        let hw = self.hardware.borrow();
+        regions.iter().all(|region| {
+            hw.region_matches(region.region_id(), region.rbar_value(), region.rasr_value())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -595,7 +608,7 @@ mod tests {
         let regions: Vec<CortexMRegion> = (0..8).map(CortexMRegion::unset).collect();
         mpu.configure_mpu(&regions);
         let hw = mpu.hardware();
-        let order = hw.borrow_mut().take_write_order();
+        let order: Vec<usize> = hw.borrow_mut().drain_write_order().collect();
         assert_eq!(order, (0..8).collect::<Vec<_>>());
     }
 

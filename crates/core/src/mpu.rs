@@ -55,6 +55,21 @@ pub trait Mpu {
 
     /// Disables memory protection (kernel execution, §2.1).
     fn disable_mpu(&self);
+
+    /// Re-arms protection without rewriting any region registers — the
+    /// commit-cache hit path. On Cortex-M this is the single `MPU_CTRL`
+    /// write undoing [`Mpu::disable_mpu`]; on PMP chips (where the kernel
+    /// runs in M-mode and never disables the unit) it is a no-op.
+    fn reenable_mpu(&self) {}
+
+    /// Reads back the live hardware registers and reports whether they
+    /// still hold exactly what [`Mpu::configure_mpu`] would commit for
+    /// `regions` — the commit-cache soundness obligation. Must charge no
+    /// cycles and record no trace events. The default is `true` for
+    /// test doubles with no hardware behind them.
+    fn hardware_matches(&self, _regions: &[Self::Region]) -> bool {
+        true
+    }
 }
 
 /// Computes the combined accessible span of a region pair: the pair is

@@ -235,16 +235,41 @@ impl<const G: usize> Mpu for GranularPmp<G> {
                 continue;
             }
             let (lo, hi) = region.addr_values();
+            let cfg = region.cfg_value();
+            // Diff-commit: skip all four CSR writes when the live entry
+            // pair already holds this region's staged values.
+            if tt_hw::commit_cache::enabled()
+                && hw.entry_matches(base, lo, 0)
+                && hw.entry_matches(base + 1, hi, cfg)
+            {
+                tt_hw::commit_cache::note_elided(4);
+                continue;
+            }
             hw.write_addr(base, lo);
             hw.write_cfg(base, 0);
             hw.write_addr(base + 1, hi);
-            hw.write_cfg(base + 1, region.cfg_value());
+            hw.write_cfg(base + 1, cfg);
         }
     }
 
     fn disable_mpu(&self) {
         // Kernel execution is M-mode: unlocked PMP entries do not constrain
         // it, so "disabling" is a no-op, as on real hardware.
+    }
+
+    // `reenable_mpu` keeps the default no-op: nothing was disabled.
+
+    fn hardware_matches(&self, regions: &[PmpRegion]) -> bool {
+        let hw = self.hardware.borrow();
+        let entries = hw.chip().entries();
+        regions.iter().all(|region| {
+            let base = region.region_id() * 2;
+            if base + 1 >= entries {
+                return !region.is_set();
+            }
+            let (lo, hi) = region.addr_values();
+            hw.entry_matches(base, lo, 0) && hw.entry_matches(base + 1, hi, region.cfg_value())
+        })
     }
 }
 

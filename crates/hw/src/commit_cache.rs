@@ -1,0 +1,93 @@
+//! Thread-local switch (and accounting) for the MPU commit cache.
+//!
+//! PR 2 teaches the stack to skip hardware writes whose values are
+//! already live in the register file: the Cortex-M register file elides
+//! unchanged `RBAR`/`RASR` pairs, the granular PMP driver diff-commits
+//! entries, and the machine layer skips whole commits when the
+//! `(pid, generation)` pair matches. All three optimisations consult the
+//! single flag in this module, so disabling it restores the exact
+//! pre-cache cycle counts and Full-scope traces — that is what the
+//! caching-on-vs-off equivalence proptests and the "before" column of
+//! `BENCH_fig11.json` rely on.
+//!
+//! Like [`crate::cycles`] and [`crate::trace`], the state is
+//! thread-local so parallel differential runs do not interfere.
+
+use std::cell::Cell;
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(true) };
+    static ELIDED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Returns `true` when commit elision is enabled on this thread (the
+/// default).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Enables or disables commit elision (returns the previous state).
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.with(|e| e.replace(on))
+}
+
+/// Runs `f` with commit elision forced off, restoring the previous state
+/// afterwards. This is the "before" configuration: every register write
+/// reaches the register file and charges its full [`crate::cycles`] cost.
+pub fn with_disabled<T>(f: impl FnOnce() -> T) -> T {
+    let prev = set_enabled(false);
+    let value = f();
+    set_enabled(prev);
+    value
+}
+
+/// Records `n` register writes elided because the live register values
+/// already matched.
+#[inline]
+pub fn note_elided(n: u64) {
+    ELIDED.with(|e| e.set(e.get().wrapping_add(n)));
+}
+
+/// Returns the number of register writes elided on this thread since the
+/// last [`reset_elided`].
+pub fn elided() -> u64 {
+    ELIDED.with(|e| e.get())
+}
+
+/// Resets the elided-write counter to zero.
+pub fn reset_elided() {
+    ELIDED.with(|e| e.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_by_default_and_toggles() {
+        assert!(enabled());
+        let prev = set_enabled(false);
+        assert!(prev);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn with_disabled_restores_state() {
+        assert!(enabled());
+        with_disabled(|| assert!(!enabled()));
+        assert!(enabled());
+    }
+
+    #[test]
+    fn elided_counter_accumulates_and_resets() {
+        reset_elided();
+        note_elided(2);
+        note_elided(4);
+        assert_eq!(elided(), 6);
+        reset_elided();
+        assert_eq!(elided(), 0);
+    }
+}

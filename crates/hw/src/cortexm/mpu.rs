@@ -286,12 +286,39 @@ impl CortexMpu {
         });
     }
 
-    /// Convenience: writes a whole region pair via the RBAR VALID path.
-    pub fn write_region(&mut self, region: usize, rbar: u32, rasr: u32) {
-        let rbar = (rbar & !0x1F)
+    /// Composes the RBAR value `write_region` commits for `region`: the
+    /// aligned base with VALID set and the REGION field selecting the slot.
+    pub fn compose_rbar(region: usize, rbar: u32) -> u32 {
+        (rbar & !0x1F)
             | RegionBaseAddress::VALID.val(1).value()
-            | RegionBaseAddress::REGION.val(region as u32).value();
-        self.write_rbar(rbar);
+            | RegionBaseAddress::REGION.val(region as u32).value()
+    }
+
+    /// Returns `true` if the live register pair for `region` already holds
+    /// exactly what `write_region(region, rbar, rasr)` would commit. Used
+    /// by the write-elision path and by the commit-cache soundness
+    /// obligation; reads no hardware, charges no cycles.
+    pub fn region_matches(&self, region: usize, rbar: u32, rasr: u32) -> bool {
+        self.regions[region]
+            == RegionRegs {
+                rbar: Self::compose_rbar(region, rbar),
+                rasr,
+            }
+    }
+
+    /// Convenience: writes a whole region pair via the RBAR VALID path.
+    ///
+    /// When [`crate::commit_cache`] is enabled and the live register pair
+    /// already holds exactly these values, the RNR-select and both data
+    /// writes are elided: no `MmioWrite` is charged, no trace events are
+    /// recorded, and the write-order log is untouched — the driver-level
+    /// dirty-region optimisation the Tock retrospective describes.
+    pub fn write_region(&mut self, region: usize, rbar: u32, rasr: u32) {
+        if crate::commit_cache::enabled() && self.region_matches(region, rbar, rasr) {
+            crate::commit_cache::note_elided(2);
+            return;
+        }
+        self.write_rbar(Self::compose_rbar(region, rbar));
         self.write_rasr(rasr);
     }
 
@@ -300,9 +327,11 @@ impl CortexMpu {
         self.regions[region]
     }
 
-    /// Returns and clears the RASR write-order log.
-    pub fn take_write_order(&mut self) -> Vec<usize> {
-        std::mem::take(&mut self.write_order)
+    /// Drains the RASR write-order log in commit order without giving up
+    /// the log's allocation (the §6.1 differential path drains this after
+    /// every commit, so a fresh `Vec` per drain would churn the allocator).
+    pub fn drain_write_order(&mut self) -> std::vec::Drain<'_, usize> {
+        self.write_order.drain(..)
     }
 
     /// Checks a single byte address (ARM ARM B3.5.3 permission check).
@@ -557,8 +586,40 @@ mod tests {
         mpu.write_region(2, 0, rasr(32, 0, 0, 0));
         mpu.write_region(0, 0, rasr(32, 0, 0, 0));
         mpu.write_region(1, 0, rasr(32, 0, 0, 0));
-        assert_eq!(mpu.take_write_order(), vec![2, 0, 1]);
-        assert!(mpu.take_write_order().is_empty());
+        assert_eq!(mpu.drain_write_order().collect::<Vec<_>>(), vec![2, 0, 1]);
+        assert_eq!(mpu.drain_write_order().next(), None);
+    }
+
+    #[test]
+    fn write_region_elides_unchanged_pairs() {
+        let mut mpu = CortexMpu::new();
+        crate::commit_cache::set_enabled(true);
+        crate::commit_cache::reset_elided();
+        mpu.write_region(1, 0x2000_0000, rasr(1024, 0, 0b011, 1));
+        let after_first = crate::cycles::now();
+        // Same values again: no cycles, no write-order entry, elision noted.
+        mpu.write_region(1, 0x2000_0000, rasr(1024, 0, 0b011, 1));
+        assert_eq!(crate::cycles::now(), after_first);
+        assert_eq!(mpu.drain_write_order().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(crate::commit_cache::elided(), 2);
+        // A changed RASR still writes (and re-selects via RBAR VALID).
+        mpu.write_region(1, 0x2000_0000, rasr(2048, 0, 0b011, 1));
+        assert_eq!(mpu.region(1).size(), 2048);
+        assert_eq!(mpu.drain_write_order().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn write_region_elision_respects_the_toggle() {
+        let mut mpu = CortexMpu::new();
+        mpu.write_region(0, 0x2000_0000, rasr(512, 0, 0b011, 1));
+        let _ = mpu.drain_write_order();
+        crate::commit_cache::with_disabled(|| {
+            let before = crate::cycles::now();
+            mpu.write_region(0, 0x2000_0000, rasr(512, 0, 0b011, 1));
+            // Toggle off: both writes happen and charge 2 × MmioWrite.
+            assert_eq!(crate::cycles::now() - before, 8);
+        });
+        assert_eq!(mpu.drain_write_order().collect::<Vec<_>>(), vec![0]);
     }
 
     #[test]

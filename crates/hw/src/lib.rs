@@ -14,6 +14,7 @@
 //! the process's own code or RAM regions.
 
 pub mod addr;
+pub mod commit_cache;
 pub mod cortexm;
 pub mod cycles;
 pub mod mem;

@@ -213,6 +213,22 @@ impl RiscvPmp {
         self.entries[index]
     }
 
+    /// Returns `true` if entry `index` already holds the state that
+    /// `write_addr(index, addr)` + `write_cfg(index, cfg)` would leave
+    /// behind, applying the same NA4-reserved normalisation the write path
+    /// does on G > 4 chips. Used by the granular driver's diff-commit and
+    /// the commit-cache soundness obligation; charges no cycles.
+    pub fn entry_matches(&self, index: usize, addr: u32, cfg: u8) -> bool {
+        let Some(entry) = self.entries.get(index) else {
+            return false;
+        };
+        let mut cfg = cfg;
+        if !self.chip.supports_na4() && AddressMode::decode(cfg >> 3) == AddressMode::Na4 {
+            cfg &= !(0b11 << 3);
+        }
+        *entry == PmpEntry { cfg, addr }
+    }
+
     /// Clears every (unlocked) entry to OFF.
     pub fn clear(&mut self) {
         for i in 0..self.entries.len() {

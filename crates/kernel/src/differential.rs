@@ -126,18 +126,82 @@ pub fn run_release_suite() -> Vec<DiffResult> {
     run_release_suite_on(&NRF52840DK)
 }
 
-/// Runs the whole release suite on both kernels on any chip.
-pub fn run_release_suite_on(chip: &ChipProfile) -> Vec<DiffResult> {
-    release_tests()
-        .iter()
-        .map(|test| {
-            DiffResult::from_runs(
-                test.spec.name,
-                test.spec.expect_differs,
-                run_one_on(test, Flavor::Legacy(BugVariant::Fixed), chip),
-                run_one_on(test, Flavor::Granular, chip),
-            )
+/// Worker count for the parallel suite runners: `TT_BENCH_THREADS` if set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn suite_threads() -> usize {
+    std::env::var("TT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         })
+}
+
+fn diff_one(test: &ReleaseTest, chip: &ChipProfile) -> DiffResult {
+    DiffResult::from_runs(
+        test.spec.name,
+        test.spec.expect_differs,
+        run_one_on(test, Flavor::Legacy(BugVariant::Fixed), chip),
+        run_one_on(test, Flavor::Granular, chip),
+    )
+}
+
+/// Runs the whole release suite on both kernels on any chip, spreading
+/// the per-test loop over [`suite_threads`] scoped threads.
+pub fn run_release_suite_on(chip: &ChipProfile) -> Vec<DiffResult> {
+    run_release_suite_on_with_threads(chip, suite_threads())
+}
+
+/// Runs the release suite on `threads` worker threads (1 = the serial
+/// path). Every cycle/trace/cache sink is thread-local by design, so each
+/// worker's runs are bit-identical to a serial run of the same tests, and
+/// results are reassembled in test order — the parallel runner's report
+/// is byte-identical to the serial one.
+pub fn run_release_suite_on_with_threads(chip: &ChipProfile, threads: usize) -> Vec<DiffResult> {
+    let tests = release_tests();
+    if threads <= 1 {
+        return tests.iter().map(|test| diff_one(test, chip)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let collected = std::sync::Mutex::new(Vec::with_capacity(tests.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tests.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(test) = tests.get(i) else {
+                    break;
+                };
+                let result = diff_one(test, chip);
+                collected.lock().unwrap().push((i, result));
+            });
+        }
+    });
+    let mut indexed = collected.into_inner().unwrap();
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs the release suite on every supported chip profile, fanning the
+/// chips out over scoped threads (each chip's per-test loop stays serial
+/// inside its worker; the thread-local sinks keep runs independent).
+/// Returns `(chip, results)` in [`tt_hw::platform::ALL_CHIPS`] order.
+pub fn run_release_suite_all_chips() -> Vec<(&'static ChipProfile, Vec<DiffResult>)> {
+    let chips = &tt_hw::platform::ALL_CHIPS;
+    let mut slots: Vec<Option<Vec<DiffResult>>> = (0..chips.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (chip, slot) in chips.iter().zip(slots.iter_mut()) {
+            scope.spawn(move || {
+                *slot = Some(run_release_suite_on_with_threads(chip, 1));
+            });
+        }
+    });
+    chips
+        .iter()
+        .zip(slots)
+        .map(|(chip, results)| (chip, results.expect("chip suite completed")))
         .collect()
 }
 
@@ -213,6 +277,51 @@ mod tests {
                 r.tock.console,
                 r.ticktock.console
             );
+        }
+    }
+
+    #[test]
+    fn parallel_suite_report_is_byte_identical_to_serial() {
+        let serial = run_release_suite_on_with_threads(&NRF52840DK, 1);
+        let parallel = run_release_suite_on_with_threads(&NRF52840DK, 4);
+        assert_eq!(parallel.len(), serial.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.matches(), p.matches(), "{}", s.name);
+            assert_eq!(s.tock.console, p.tock.console, "{}", s.name);
+            assert_eq!(s.ticktock.console, p.ticktock.console, "{}", s.name);
+        }
+        assert_eq!(
+            render_report(&serial),
+            render_report(&parallel),
+            "parallel report must be byte-identical to serial"
+        );
+    }
+
+    #[test]
+    fn suite_threads_reads_the_env_var() {
+        // Serialised against other env readers by running in this one test.
+        std::env::set_var("TT_BENCH_THREADS", "3");
+        assert_eq!(suite_threads(), 3);
+        std::env::set_var("TT_BENCH_THREADS", "0");
+        assert!(
+            suite_threads() >= 1,
+            "0 falls back to available parallelism"
+        );
+        std::env::set_var("TT_BENCH_THREADS", "nope");
+        assert!(suite_threads() >= 1);
+        std::env::remove_var("TT_BENCH_THREADS");
+        assert!(suite_threads() >= 1);
+    }
+
+    #[test]
+    fn all_chips_runner_covers_every_profile_with_the_same_shape() {
+        let per_chip = run_release_suite_all_chips();
+        assert_eq!(per_chip.len(), tt_hw::platform::ALL_CHIPS.len());
+        for (chip, results) in &per_chip {
+            assert_eq!(results.len(), 21, "{}", chip.name);
+            let differing = results.iter().filter(|r| !r.matches()).count();
+            assert_eq!(differing, 5, "{}", chip.name);
         }
     }
 

@@ -3,30 +3,126 @@
 //! The paper evaluates on an ARM board and, for RISC-V, under QEMU (§6.1).
 //! `Machine` is the kernel's view of whichever protection unit the chip
 //! has, so the same kernel code boots on all four [`ChipProfile`]s.
+//!
+//! Since PR 2 the machine also owns the **MPU commit cache** (the
+//! production optimisation from the Tock retrospective): a
+//! `(last_configured_pid, generation)` pair that lets `setup_mpu` skip
+//! the hardware commit entirely when the process whose configuration is
+//! live in the register file is switched back in unchanged. See
+//! `DESIGN.md` §8 for the protocol and its soundness obligation.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use tt_hw::cortexm::CortexMpu;
 use tt_hw::mem::{AccessDecision, AccessType, Privilege, ProtectionUnit};
 use tt_hw::platform::{Arch, ChipProfile};
 use tt_hw::riscv::RiscvPmp;
 
-/// A shared handle to the chip's protection hardware.
+/// The protection unit variant behind a [`Machine`].
 #[derive(Debug, Clone)]
-pub enum Machine {
+pub enum MachineKind {
     /// ARMv7-M MPU.
     CortexM(Rc<RefCell<CortexMpu>>),
     /// RISC-V PMP.
     Pmp(Rc<RefCell<RiscvPmp>>),
 }
 
+/// The MPU commit cache: which process configuration is live in the
+/// register file, keyed by `(pid, allocator generation)`.
+///
+/// One cache exists per [`Machine`] (per protection unit) and is shared
+/// by every process backend created on it. The cache answers exactly one
+/// question — "is the hardware already configured for this pid at this
+/// generation?" — and is invalidated by anything that writes the
+/// register file outside generation tracking (legacy commits, process
+/// creation, restart).
+#[derive(Debug, Default)]
+pub struct CommitCache {
+    state: Cell<Option<(u32, u64)>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl CommitCache {
+    /// Returns `true` (a hit) when caching is enabled and the live
+    /// configuration is `(pid, generation)`. Counts the lookup either way.
+    pub fn lookup(&self, pid: u32, generation: u64) -> bool {
+        if !tt_hw::commit_cache::enabled() {
+            // Disabled: behave exactly like the pre-cache kernel, and drop
+            // any stale state so re-enabling starts cold.
+            self.state.set(None);
+            self.misses.set(self.misses.get() + 1);
+            return false;
+        }
+        if self.state.get() == Some((pid, generation)) {
+            self.hits.set(self.hits.get() + 1);
+            true
+        } else {
+            self.misses.set(self.misses.get() + 1);
+            false
+        }
+    }
+
+    /// Records that `(pid, generation)` was just fully committed to the
+    /// register file.
+    pub fn note_committed(&self, pid: u32, generation: u64) {
+        if tt_hw::commit_cache::enabled() {
+            self.state.set(Some((pid, generation)));
+        }
+    }
+
+    /// Forgets the cached configuration. Called whenever the register file
+    /// is written outside generation tracking.
+    pub fn invalidate(&self) {
+        self.state.set(None);
+    }
+
+    /// Number of cache hits since construction (or [`Self::reset_stats`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Number of cache misses since construction (or [`Self::reset_stats`]).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Resets the hit/miss counters (the cached state is kept).
+    pub fn reset_stats(&self) {
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+}
+
+/// A shared handle to the chip's protection hardware plus its commit
+/// cache.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    kind: MachineKind,
+    cache: Rc<CommitCache>,
+}
+
 impl Machine {
     /// Creates the reset-state machine for a chip profile.
     pub fn for_chip(profile: &ChipProfile) -> Self {
-        match profile.arch {
-            Arch::CortexM => Machine::CortexM(Rc::new(RefCell::new(CortexMpu::new()))),
-            Arch::Riscv32(chip) => Machine::Pmp(Rc::new(RefCell::new(RiscvPmp::new(chip)))),
+        let kind = match profile.arch {
+            Arch::CortexM => MachineKind::CortexM(Rc::new(RefCell::new(CortexMpu::new()))),
+            Arch::Riscv32(chip) => MachineKind::Pmp(Rc::new(RefCell::new(RiscvPmp::new(chip)))),
+        };
+        Self {
+            kind,
+            cache: Rc::new(CommitCache::default()),
         }
+    }
+
+    /// The protection unit variant.
+    pub fn kind(&self) -> &MachineKind {
+        &self.kind
+    }
+
+    /// The commit cache shared by every backend on this machine.
+    pub fn cache(&self) -> &Rc<CommitCache> {
+        &self.cache
     }
 
     /// Checks an access against the live hardware state.
@@ -37,9 +133,9 @@ impl Machine {
         access: AccessType,
         priv_: Privilege,
     ) -> AccessDecision {
-        match self {
-            Machine::CortexM(mpu) => mpu.borrow().check(addr, size, access, priv_),
-            Machine::Pmp(pmp) => pmp.borrow().check(addr, size, access, priv_),
+        match &self.kind {
+            MachineKind::CortexM(mpu) => mpu.borrow().check(addr, size, access, priv_),
+            MachineKind::Pmp(pmp) => pmp.borrow().check(addr, size, access, priv_),
         }
     }
 
@@ -47,25 +143,29 @@ impl Machine {
     ///
     /// On ARM this clears MPU_CTRL.ENABLE; on RISC-V it is a no-op — the
     /// kernel runs in M-mode, which unlocked PMP entries never constrain.
+    ///
+    /// The commit cache survives this on purpose: only the control
+    /// register changes, never a region register, and the cache-hit path
+    /// re-asserts MPU_CTRL before the process runs again.
     pub fn disable_user_protection(&self) {
-        if let Machine::CortexM(mpu) = self {
+        if let MachineKind::CortexM(mpu) = &self.kind {
             mpu.borrow_mut().write_ctrl(false, true);
         }
     }
 
     /// The ARM MPU handle, if this machine is a Cortex-M.
     pub fn cortexm(&self) -> Option<Rc<RefCell<CortexMpu>>> {
-        match self {
-            Machine::CortexM(mpu) => Some(Rc::clone(mpu)),
-            Machine::Pmp(_) => None,
+        match &self.kind {
+            MachineKind::CortexM(mpu) => Some(Rc::clone(mpu)),
+            MachineKind::Pmp(_) => None,
         }
     }
 
     /// The PMP handle, if this machine is RISC-V.
     pub fn pmp(&self) -> Option<Rc<RefCell<RiscvPmp>>> {
-        match self {
-            Machine::Pmp(pmp) => Some(Rc::clone(pmp)),
-            Machine::CortexM(_) => None,
+        match &self.kind {
+            MachineKind::Pmp(pmp) => Some(Rc::clone(pmp)),
+            MachineKind::CortexM(_) => None,
         }
     }
 }
@@ -125,5 +225,34 @@ mod tests {
                 )
                 .allowed());
         }
+    }
+
+    #[test]
+    fn commit_cache_hits_only_on_exact_pid_generation() {
+        let cache = CommitCache::default();
+        assert!(!cache.lookup(0, 7));
+        cache.note_committed(0, 7);
+        assert!(cache.lookup(0, 7));
+        assert!(!cache.lookup(1, 7), "different pid must miss");
+        assert!(!cache.lookup(0, 8), "different generation must miss");
+        cache.invalidate();
+        assert!(!cache.lookup(0, 7));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 4);
+        cache.reset_stats();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn commit_cache_is_inert_when_disabled() {
+        let cache = CommitCache::default();
+        cache.note_committed(3, 9);
+        assert!(cache.lookup(3, 9));
+        tt_hw::commit_cache::with_disabled(|| {
+            assert!(!cache.lookup(3, 9), "disabled cache never hits");
+            cache.note_committed(3, 9);
+        });
+        // The disabled lookup dropped the state; re-enabling starts cold.
+        assert!(!cache.lookup(3, 9));
     }
 }

@@ -11,8 +11,9 @@
 //! cycle-charged through `tt_hw::cycles`.
 
 use crate::loader::AppImage;
-use crate::machine::Machine;
+use crate::machine::{CommitCache, Machine, MachineKind};
 use std::fmt;
+use std::rc::Rc;
 use ticktock::allocator::{AppMemoryAllocator, UpdateError};
 use ticktock::cortexm::GranularCortexM;
 use ticktock::mpu::Mpu;
@@ -103,6 +104,10 @@ struct LegacyArm {
     app_break: usize,
     kernel_break: usize,
     flash: (usize, usize),
+    /// The machine's commit cache. Legacy commits carry no generation, so
+    /// every hardware write-out invalidates it — the legacy flavor stays
+    /// the byte-for-byte differential baseline, never a cache user.
+    cache: Rc<CommitCache>,
 }
 
 impl fmt::Debug for LegacyArm {
@@ -143,6 +148,7 @@ impl MemoryOps for LegacyArm {
         self.app_break = new_break.as_usize();
         // Tock's brk path includes "an unnecessary call to setup_mpu"
         // (§6.2) — reproduce it.
+        self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
         Ok(())
     }
@@ -168,6 +174,7 @@ impl MemoryOps for LegacyArm {
                 &mut self.config,
             )
             .map_err(|_| ProcessError::NoMemory)?;
+        self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
         self.kernel_break = new_kb;
         Ok(PtrU8::new(new_kb))
@@ -202,6 +209,7 @@ impl MemoryOps for LegacyArm {
     }
 
     fn setup_mpu(&self) {
+        self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
     }
 }
@@ -218,6 +226,8 @@ struct LegacyRv {
     app_break: usize,
     kernel_break: usize,
     flash: (usize, usize),
+    /// See [`LegacyArm::cache`]: legacy write-outs invalidate, never hit.
+    cache: Rc<CommitCache>,
 }
 
 impl fmt::Debug for LegacyRv {
@@ -256,6 +266,7 @@ impl MemoryOps for LegacyRv {
             )
             .map_err(|_| ProcessError::Invalid)?;
         self.app_break = new_break.as_usize();
+        self.cache.invalidate();
         self.mpu.configure_mpu(&self.config); // The same redundant call.
         Ok(())
     }
@@ -278,6 +289,7 @@ impl MemoryOps for LegacyRv {
                 &mut self.config,
             )
             .map_err(|_| ProcessError::NoMemory)?;
+        self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
         self.kernel_break = new_kb;
         Ok(PtrU8::new(new_kb))
@@ -297,6 +309,7 @@ impl MemoryOps for LegacyRv {
     }
 
     fn setup_mpu(&self) {
+        self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
     }
 }
@@ -308,6 +321,11 @@ impl MemoryOps for LegacyRv {
 struct Granular<M: Mpu> {
     mpu: M,
     alloc: AppMemoryAllocator<M>,
+    /// This process's pid — the first half of the commit-cache key.
+    pid: u32,
+    /// The machine's commit cache, shared with every backend on the same
+    /// protection unit.
+    cache: Rc<CommitCache>,
 }
 
 impl<M: Mpu> fmt::Debug for Granular<M> {
@@ -357,7 +375,22 @@ impl<M: Mpu> MemoryOps for Granular<M> {
     }
 
     fn setup_mpu(&self) {
+        // The commit-cache hit path: the register file still holds this
+        // process's configuration at this generation, so skip the commit
+        // and only re-arm protection (one MPU_CTRL write on ARM, nothing
+        // on PMP). Soundness is asserted — not assumed — in checked
+        // builds: the live registers must equal the staged logical view.
+        if self.cache.lookup(self.pid, self.alloc.generation()) {
+            self.mpu.reenable_mpu();
+            #[cfg(debug_assertions)]
+            tt_contracts::invariant!(
+                "Process::setup_mpu cache hit: hardware == staged regions",
+                self.mpu.hardware_matches(self.alloc.regions.as_slice())
+            );
+            return;
+        }
         self.alloc.configure_mpu(&self.mpu);
+        self.cache.note_committed(self.pid, self.alloc.generation());
     }
 }
 
@@ -386,14 +419,20 @@ pub struct Process {
 }
 
 fn create_backend(
+    pid: usize,
     flavor: Flavor,
     machine: &Machine,
     image: &AppImage,
     unalloc_start: PtrU8,
     unalloc_size: usize,
 ) -> Result<Box<dyn MemoryOps>, ProcessError> {
-    match (flavor, machine) {
-        (Flavor::Legacy(variant), Machine::CortexM(hw)) => {
+    // Every arm below commits a fresh configuration to the register file,
+    // so whatever the cache thought was live is stale from here on. This
+    // is what makes restart (and fault-policy respawn) invalidate: a
+    // restarted process gets a new backend through this path.
+    machine.cache().invalidate();
+    match (flavor, machine.kind()) {
+        (Flavor::Legacy(variant), MachineKind::CortexM(hw)) => {
             let mpu = LegacyCortexM::new(variant, std::rc::Rc::clone(hw));
             let mut config = CortexMConfig::default();
             let (start, size) = mpu
@@ -434,9 +473,10 @@ fn create_backend(
                 // pre-carved region.
                 kernel_break: start.as_usize() + size,
                 flash: (image.flash_start.as_usize(), image.flash_size),
+                cache: Rc::clone(machine.cache()),
             }))
         }
-        (Flavor::Legacy(variant), Machine::Pmp(hw)) => {
+        (Flavor::Legacy(variant), MachineKind::Pmp(hw)) => {
             let mpu = LegacyRiscv::new(variant, std::rc::Rc::clone(hw));
             let mut config = PmpConfig::default();
             let (start, size) = mpu
@@ -472,9 +512,10 @@ fn create_backend(
                 app_break: breaks.app_break,
                 kernel_break: start.as_usize() + size,
                 flash: (image.flash_start.as_usize(), image.flash_size),
+                cache: Rc::clone(machine.cache()),
             }))
         }
-        (Flavor::Granular, Machine::CortexM(hw)) => {
+        (Flavor::Granular, MachineKind::CortexM(hw)) => {
             let mpu = GranularCortexM::new(std::rc::Rc::clone(hw));
             let alloc = AppMemoryAllocator::<GranularCortexM>::allocate_app_memory(
                 unalloc_start,
@@ -487,9 +528,14 @@ fn create_backend(
             )
             .map_err(|_| ProcessError::NoMemory)?;
             alloc.configure_mpu(&mpu);
-            Ok(Box::new(Granular { mpu, alloc }))
+            Ok(Box::new(Granular {
+                mpu,
+                alloc,
+                pid: pid as u32,
+                cache: Rc::clone(machine.cache()),
+            }))
         }
-        (Flavor::Granular, Machine::Pmp(hw)) => {
+        (Flavor::Granular, MachineKind::Pmp(hw)) => {
             // The PMP granularity is a chip constant; both supported
             // values instantiate the same generic backend.
             let g = hw.borrow().chip().granularity();
@@ -506,7 +552,12 @@ fn create_backend(
                 )
                 .map_err(|_| ProcessError::NoMemory)?;
                 alloc.configure_mpu(&mpu);
-                Ok(Box::new(Granular { mpu, alloc }))
+                Ok(Box::new(Granular {
+                    mpu,
+                    alloc,
+                    pid: pid as u32,
+                    cache: Rc::clone(machine.cache()),
+                }))
             } else {
                 let mpu = GranularPmp::<8>::new(std::rc::Rc::clone(hw));
                 let alloc = AppMemoryAllocator::<GranularPmp<8>>::allocate_app_memory(
@@ -520,7 +571,12 @@ fn create_backend(
                 )
                 .map_err(|_| ProcessError::NoMemory)?;
                 alloc.configure_mpu(&mpu);
-                Ok(Box::new(Granular { mpu, alloc }))
+                Ok(Box::new(Granular {
+                    mpu,
+                    alloc,
+                    pid: pid as u32,
+                    cache: Rc::clone(machine.cache()),
+                }))
             }
         }
     }
@@ -538,7 +594,7 @@ impl Process {
         unalloc_size: usize,
     ) -> Result<Self, ProcessError> {
         let backend = tt_hw::cycles::instrument("create", || {
-            let backend = create_backend(flavor, machine, image, unalloc_start, unalloc_size)?;
+            let backend = create_backend(pid, flavor, machine, image, unalloc_start, unalloc_size)?;
             // Loading dominates create: copy + zero the app's requested
             // RAM (flavour-independent; the paper's ~634k cycles).
             charge_n(Cost::Store, (image.min_ram_size / 2) as u64);

@@ -1,0 +1,318 @@
+//! Integration tests for the PR 2 MPU commit cache: every path that must
+//! invalidate the cache (brk/sbrk growth, grant allocation, process
+//! restart, fault-policy respawn) forces a re-commit, visible in the
+//! Full-scope trace as reappearing register writes, while cache hits
+//! stay observably identical to full commits.
+
+use proptest::prelude::*;
+use tt_hw::platform::{Arch, ChipProfile, ALL_CHIPS};
+use tt_kernel::kernel::{App, Step};
+use tt_kernel::loader::flash_app;
+use tt_kernel::process::Flavor;
+use tt_kernel::trace::{diff_traces, normalize, RegName, TraceEvent, TraceScope};
+use tt_kernel::{trace, Kernel};
+
+const TRACE_CAPACITY: usize = 65_536;
+
+fn boot(chip: &ChipProfile) -> (Kernel, usize) {
+    tt_hw::cycles::reset();
+    trace::enable(TRACE_CAPACITY);
+    let mut k = Kernel::boot(Flavor::Granular, chip);
+    let image = flash_app(
+        &mut k.mem,
+        chip.map.flash.start + 0x4_0000,
+        "cache",
+        0x1000,
+        4096,
+        2048,
+    )
+    .unwrap();
+    let pid = k.load_process(&image).unwrap();
+    k.processes[pid].setup_mpu();
+    (k, pid)
+}
+
+/// Switches the process out (kernel runs) and back in, returning only the
+/// events of the switch-in.
+fn switch_in(k: &Kernel, pid: usize) -> Vec<TraceEvent> {
+    k.machine.disable_user_protection();
+    let _ = trace::take();
+    k.processes[pid].setup_mpu();
+    trace::take().events
+}
+
+/// The region-register names for a chip's protection unit (the writes
+/// diff-commit elides on a hit).
+fn region_regs(chip: &ChipProfile) -> [RegName; 2] {
+    match chip.arch {
+        Arch::CortexM => [RegName::Rbar, RegName::Rasr],
+        Arch::Riscv32(_) => [RegName::PmpCfg, RegName::PmpAddr],
+    }
+}
+
+fn count_writes(events: &[TraceEvent], names: &[RegName]) -> usize {
+    events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::RegWrite { reg, .. } if names.contains(reg)))
+        .count()
+}
+
+fn has_commit(events: &[TraceEvent]) -> bool {
+    events
+        .iter()
+        .any(|ev| matches!(ev, TraceEvent::MpuCommit { .. }))
+}
+
+fn has_allocator_commit(events: &[TraceEvent]) -> bool {
+    events
+        .iter()
+        .any(|ev| matches!(ev, TraceEvent::AllocatorCommit { .. }))
+}
+
+#[test]
+fn warm_switch_in_elides_region_writes_but_stays_observable() {
+    for chip in &ALL_CHIPS {
+        let (k, pid) = boot(chip);
+        let events = switch_in(&k, pid);
+        assert_eq!(
+            count_writes(&events, &region_regs(chip)),
+            0,
+            "{}: a cache hit must not touch region registers",
+            chip.name
+        );
+        assert!(
+            !has_allocator_commit(&events),
+            "{}: a cache hit skips the allocator commit",
+            chip.name
+        );
+        // The hit is still an observable MpuCommit — the Observable trace
+        // scope (what the differential oracle gates on) sees the same
+        // protocol with the cache on or off.
+        assert!(has_commit(&events), "{}", chip.name);
+        assert!(
+            normalize(&events, TraceScope::Observable)
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::MpuCommit { .. })),
+            "{}: MpuCommit must survive Observable normalization",
+            chip.name
+        );
+        if chip.arch == Arch::CortexM {
+            assert_eq!(
+                count_writes(&events, &[RegName::Ctrl]),
+                1,
+                "{}: an ARM hit re-enables MPU_CTRL and nothing else",
+                chip.name
+            );
+        }
+        trace::disable();
+    }
+}
+
+#[test]
+fn brk_growth_forces_region_writes_to_reappear() {
+    for chip in &ALL_CHIPS {
+        let (mut k, pid) = boot(chip);
+        // Warm up: the switch-in right after boot is a hit.
+        assert_eq!(count_writes(&switch_in(&k, pid), &region_regs(chip)), 0);
+        // Growing the break moves the allocator generation; the next
+        // switch-in must re-commit, and the changed boundary registers
+        // show up again in the Full-scope trace.
+        k.processes[pid].sbrk(64).unwrap();
+        let events = switch_in(&k, pid);
+        assert!(
+            count_writes(&events, &region_regs(chip)) > 0,
+            "{}: post-sbrk switch-in must rewrite region registers",
+            chip.name
+        );
+        assert!(has_allocator_commit(&events), "{}", chip.name);
+        assert!(has_commit(&events), "{}", chip.name);
+        trace::disable();
+    }
+}
+
+#[test]
+fn grant_allocation_forces_a_recommit() {
+    for chip in &ALL_CHIPS {
+        let (mut k, pid) = boot(chip);
+        let cache = k.machine.cache().clone();
+        assert_eq!(count_writes(&switch_in(&k, pid), &region_regs(chip)), 0);
+        cache.reset_stats();
+        k.processes[pid].allocate_grant(7, 64).unwrap();
+        let events = switch_in(&k, pid);
+        // The generation moved, so the lookup misses and the allocator
+        // re-commits. Grant memory is kernel-owned, so the user-visible
+        // region values may be unchanged — diff-commit is then allowed to
+        // elide the individual register writes, but the commit itself must
+        // happen.
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (0, 1),
+            "{}: post-grant switch-in must miss",
+            chip.name
+        );
+        assert!(has_allocator_commit(&events), "{}", chip.name);
+        trace::disable();
+    }
+}
+
+#[test]
+fn restart_forces_a_full_recommit() {
+    for chip in &ALL_CHIPS {
+        let (mut k, pid) = boot(chip);
+        // Commit a grown configuration, then restart: the fresh process's
+        // smaller break must actually reach the hardware.
+        k.processes[pid].sbrk(96).unwrap();
+        switch_in(&k, pid);
+        k.fault_process(pid, "deliberate");
+        let _ = trace::take();
+        k.restart_process(pid).unwrap();
+        // The fresh process's smaller break reaches the hardware during
+        // the restart itself (`Process::create` commits), and the next
+        // switch-in re-commits under the invalidated cache.
+        let mut events = trace::take().events;
+        events.extend(switch_in(&k, pid));
+        assert!(
+            count_writes(&events, &region_regs(chip)) > 0,
+            "{}: restart must rewrite region registers",
+            chip.name
+        );
+        assert!(has_allocator_commit(&events), "{}", chip.name);
+        trace::disable();
+    }
+}
+
+/// A program that grows its break and then faults, to drive the
+/// fault-policy respawn path of the scheduler loop.
+struct GrowThenCrash {
+    crashed: bool,
+}
+
+impl App for GrowThenCrash {
+    fn name(&self) -> &'static str {
+        "cache"
+    }
+    fn step(&mut self, kernel: &mut Kernel, pid: usize) -> Step {
+        if !self.crashed {
+            self.crashed = true;
+            let _ = kernel.sys_sbrk(pid, 128);
+            kernel.fault_process(pid, "deliberate");
+        }
+        Step::Yield
+    }
+}
+
+fn mk_crasher() -> Box<dyn App> {
+    Box::new(GrowThenCrash { crashed: false })
+}
+
+#[test]
+fn fault_policy_respawn_forces_a_full_recommit() {
+    for chip in &ALL_CHIPS {
+        let (mut k, pid) = boot(chip);
+        k.fault_policy = tt_kernel::kernel::FaultPolicy::Restart { max_restarts: 1 };
+        let _ = trace::take();
+        let mut apps: Vec<Box<dyn App>> = vec![mk_crasher()];
+        let factories: [fn() -> Box<dyn App>; 1] = [mk_crasher];
+        k.run_with_factories(&mut apps, Some(&factories), 20);
+        assert_eq!(k.restarts[pid], 1, "{}", chip.name);
+        let events = trace::take().events;
+        let restart_at = events
+            .iter()
+            .position(|ev| matches!(ev, TraceEvent::ProcessRestart { .. }))
+            .unwrap_or_else(|| panic!("{}: no ProcessRestart in trace", chip.name));
+        // The respawned process's first switch-in undoes the crashed
+        // instance's sbrk, so its commit rewrites the boundary registers.
+        assert!(
+            count_writes(&events[restart_at..], &region_regs(chip)) > 0,
+            "{}: post-respawn commit must rewrite region registers",
+            chip.name
+        );
+        trace::disable();
+    }
+}
+
+/// Runs a randomized interleaving of memory operations and context
+/// switches, returning the raw trace plus the final layout.
+fn run_schedule(chip: &ChipProfile, ops: &[usize]) -> (Vec<TraceEvent>, usize, usize) {
+    let (mut k, pid) = boot(chip);
+    let ms = k.processes[pid].memory_start();
+    let _ = trace::take();
+    let mut grant_id = 100usize;
+    for &op in ops {
+        match op {
+            0 => {
+                let _ = k.processes[pid].sbrk(64);
+            }
+            1 => {
+                let _ = k.processes[pid].sbrk(-48);
+            }
+            2 => {
+                let _ = k.processes[pid].allocate_grant(grant_id, 32);
+                grant_id += 1;
+            }
+            3 => {
+                k.machine.disable_user_protection();
+                k.processes[pid].setup_mpu();
+            }
+            _ => {
+                let _ = k.sys_allow_rw(pid, ms + 64, 64);
+            }
+        }
+    }
+    let events = trace::take().events;
+    let layout = (
+        k.processes[pid].app_break(),
+        k.processes[pid].kernel_break(),
+    );
+    trace::disable();
+    (events, layout.0, layout.1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The cache is pure optimisation: any interleaving of memory ops and
+    /// context switches, on any chip, produces an observably identical
+    /// trace and the same final layout with caching on and off.
+    #[test]
+    fn caching_is_observably_transparent(
+        chip_idx in 0usize..ALL_CHIPS.len(),
+        ops in proptest::collection::vec(0usize..5, 1..24),
+    ) {
+        let chip = &ALL_CHIPS[chip_idx];
+        let (on, on_app, on_kernel) = run_schedule(chip, &ops);
+        let (off, off_app, off_kernel) =
+            tt_hw::commit_cache::with_disabled(|| run_schedule(chip, &ops));
+        prop_assert_eq!((on_app, on_kernel), (off_app, off_kernel));
+        let on_trace = trace::Trace { events: on, dropped: 0 };
+        let off_trace = trace::Trace { events: off, dropped: 0 };
+        let d = diff_traces(&on_trace, &off_trace, TraceScope::Observable);
+        prop_assert!(
+            d.is_none(),
+            "{}: cache on/off diverged observably: {:?}",
+            chip.name,
+            d
+        );
+    }
+
+    /// Cached runs never cost more cycles than uncached runs of the same
+    /// schedule.
+    #[test]
+    fn caching_never_costs_cycles(
+        chip_idx in 0usize..ALL_CHIPS.len(),
+        ops in proptest::collection::vec(0usize..5, 1..24),
+    ) {
+        let chip = &ALL_CHIPS[chip_idx];
+        run_schedule(chip, &ops);
+        let on_cycles = tt_hw::cycles::now();
+        tt_hw::commit_cache::with_disabled(|| run_schedule(chip, &ops));
+        let off_cycles = tt_hw::cycles::now();
+        prop_assert!(
+            on_cycles <= off_cycles,
+            "{}: cached {} > uncached {}",
+            chip.name,
+            on_cycles,
+            off_cycles
+        );
+    }
+}
