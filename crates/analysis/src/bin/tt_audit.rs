@@ -1,0 +1,125 @@
+//! `tt-audit` — the workspace static isolation auditor.
+//!
+//! ```text
+//! tt-audit [--check] [--root DIR] [--config FILE] [--json FILE]
+//!          [--pass tcb,coverage,crosscheck]
+//! ```
+//!
+//! Runs the TCB audit, the invariant-coverage lint and the obligation
+//! cross-check over the workspace sources, prints the Fig. 10 table, and
+//! (with `--json`) writes the `BENCH_fig10.json` artifact. With `--check`
+//! the process exits nonzero if any pass produced findings — the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tt_analysis::{AuditConfig, Pass};
+
+struct Args {
+    check: bool,
+    root: PathBuf,
+    config: PathBuf,
+    json: Option<PathBuf>,
+    passes: Vec<Pass>,
+}
+
+fn parse_passes(spec: &str) -> Result<Vec<Pass>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s {
+            "tcb" => Ok(Pass::Tcb),
+            "coverage" => Ok(Pass::Coverage),
+            "crosscheck" => Ok(Pass::Crosscheck),
+            other => Err(format!(
+                "unknown pass `{other}` (expected tcb, coverage, crosscheck)"
+            )),
+        })
+        .collect()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let root = tt_analysis::workspace_root();
+    let mut args = Args {
+        check: false,
+        config: root.join(tt_analysis::DEFAULT_CONFIG),
+        root,
+        json: None,
+        passes: vec![Pass::Tcb, Pass::Coverage, Pass::Crosscheck],
+    };
+    let mut config_overridden = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--root" => {
+                args.root = PathBuf::from(value("--root")?);
+                if !config_overridden {
+                    args.config = args.root.join(tt_analysis::DEFAULT_CONFIG);
+                }
+            }
+            "--config" => {
+                args.config = PathBuf::from(value("--config")?);
+                config_overridden = true;
+            }
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--pass" => args.passes = parse_passes(&value("--pass")?)?,
+            "--help" | "-h" => {
+                println!(
+                    "tt-audit [--check] [--root DIR] [--config FILE] [--json FILE] \
+                     [--pass tcb,coverage,crosscheck]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tt-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match AuditConfig::load(&args.config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tt-audit: {}: {e}", args.config.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = tt_analysis::run(&args.root, &config, &args.passes);
+
+    for finding in &report.findings {
+        eprintln!("{finding}");
+    }
+    print!("{}", tt_analysis::report::render_table(&report));
+    println!(
+        "audit: {} finding(s) (tcb {}, coverage {}, crosscheck {})",
+        report.findings.len(),
+        report.count(Pass::Tcb),
+        report.count(Pass::Coverage),
+        report.count(Pass::Crosscheck),
+    );
+
+    if let Some(path) = &args.json {
+        let doc = tt_analysis::to_json(&report);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("tt-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if args.check && !report.clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

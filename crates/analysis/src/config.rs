@@ -1,0 +1,271 @@
+//! The audit configuration: `ci/tcb_allowlist.toml`.
+//!
+//! The allowlist is the machine-readable trusted-computing-base
+//! declaration — the paper's §5 `#[trusted]` boundary as a reviewable
+//! artifact. The parser covers the TOML subset the file uses (sections,
+//! string values, possibly-multiline string arrays, `#` comments); the
+//! build is dependency-frozen, so no external TOML crate.
+//!
+//! Format:
+//!
+//! ```toml
+//! [tcb]
+//! # Whole files (the simulated register files) or single functions
+//! # ("path::fn_name", the driver commit paths).
+//! trusted = [
+//!     "crates/hw/src/cortexm/mpu.rs",
+//!     "crates/core/src/cortexm.rs::configure_mpu",
+//! ]
+//!
+//! [coverage]
+//! files = ["crates/core/src/breaks.rs"]
+//!
+//! [crosscheck]
+//! allow_unregistered = ["svc_handler_to_process_buggy"]
+//! allow_dead = []
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Parsed audit configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AuditConfig {
+    /// `[tcb] trusted`: file paths, directory prefixes, or `path::fn`
+    /// entries inside which unsafe code and raw register stores may live.
+    pub trusted: Vec<String>,
+    /// `[coverage] files`: the invariant-bearing modules whose public
+    /// mutators must discharge `check_invariants()`.
+    pub coverage_files: Vec<String>,
+    /// `[crosscheck] allow_unregistered`: contract sites exempt from the
+    /// registry cross-check (deliberately-buggy reproductions checked by
+    /// the differential rig instead of the verifier).
+    pub allow_unregistered: Vec<String>,
+    /// `[crosscheck] allow_dead`: registered obligations exempt from the
+    /// dead-obligation check.
+    pub allow_dead: Vec<String>,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses the TOML subset into section → key → string-list form.
+fn parse_sections(
+    text: &str,
+) -> Result<BTreeMap<String, BTreeMap<String, Vec<String>>>, ConfigError> {
+    let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let line = strip_toml_comment(line);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(name) = trimmed.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = trimmed.split_once('=') else {
+            return Err(ConfigError {
+                line: idx + 1,
+                message: format!("expected `key = value` or `[section]`, got `{trimmed}`"),
+            });
+        };
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // Multiline arrays: accumulate until the closing bracket.
+        if value.starts_with('[') && !value.ends_with(']') {
+            for (_, cont) in lines.by_ref() {
+                let cont = strip_toml_comment(cont);
+                value.push(' ');
+                value.push_str(cont.trim());
+                if cont.trim_end().ends_with(']') {
+                    break;
+                }
+            }
+        }
+        let items = if let Some(inner) = value.strip_prefix('[') {
+            let inner = inner.strip_suffix(']').ok_or(ConfigError {
+                line: idx + 1,
+                message: "unterminated array".into(),
+            })?;
+            parse_string_list(inner, idx + 1)?
+        } else {
+            vec![parse_string(&value, idx + 1)?]
+        };
+        sections
+            .entry(current.clone())
+            .or_default()
+            .insert(key, items);
+    }
+    Ok(sections)
+}
+
+fn strip_toml_comment(line: &str) -> String {
+    // `#` starts a comment unless inside a quoted string.
+    let mut out = String::new();
+    let mut in_str = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                out.push(c);
+            }
+            '#' if !in_str => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn parse_string(s: &str, line: usize) -> Result<String, ConfigError> {
+    let t = s.trim().trim_end_matches(',').trim();
+    t.strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or(ConfigError {
+            line,
+            message: format!("expected a quoted string, got `{t}`"),
+        })
+}
+
+fn parse_string_list(inner: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|item| parse_string(item, line))
+        .collect()
+}
+
+impl AuditConfig {
+    /// Parses a configuration from TOML text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let sections = parse_sections(text)?;
+        let get = |section: &str, key: &str| -> Vec<String> {
+            sections
+                .get(section)
+                .and_then(|s| s.get(key))
+                .cloned()
+                .unwrap_or_default()
+        };
+        Ok(Self {
+            trusted: get("tcb", "trusted"),
+            coverage_files: get("coverage", "files"),
+            allow_unregistered: get("crosscheck", "allow_unregistered"),
+            allow_dead: get("crosscheck", "allow_dead"),
+        })
+    }
+
+    /// Loads and parses the configuration file.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Whether `rel_path` (optionally narrowed to the function `fn_name`)
+    /// falls inside the declared trusted computing base.
+    pub fn is_trusted(&self, rel_path: &str, fn_name: Option<&str>) -> bool {
+        self.trusted.iter().any(|entry| {
+            if let Some((path, func)) = entry.split_once("::") {
+                path == rel_path && fn_name == Some(func)
+            } else {
+                rel_path == entry
+                    || rel_path.starts_with(&format!("{}/", entry.trim_end_matches('/')))
+            }
+        })
+    }
+
+    /// Whether the whole file is trusted (no function qualifier needed).
+    pub fn is_trusted_file(&self, rel_path: &str) -> bool {
+        self.trusted.iter().any(|entry| {
+            !entry.contains("::")
+                && (rel_path == entry
+                    || rel_path.starts_with(&format!("{}/", entry.trim_end_matches('/'))))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# The TCB declaration.
+[tcb]
+trusted = [
+    "crates/hw/src/cortexm/mpu.rs",          # register file
+    "crates/core/src/cortexm.rs::configure_mpu",
+    "crates/hw/src/riscv",
+]
+
+[coverage]
+files = ["crates/core/src/breaks.rs", "crates/core/src/allocator.rs"]
+
+[crosscheck]
+allow_unregistered = ["sys_tick_isr_buggy"]
+allow_dead = []
+"##;
+
+    #[test]
+    fn parses_multiline_arrays_with_comments() {
+        let c = AuditConfig::parse(SAMPLE).unwrap();
+        assert_eq!(c.trusted.len(), 3);
+        assert_eq!(c.coverage_files.len(), 2);
+        assert_eq!(c.allow_unregistered, vec!["sys_tick_isr_buggy"]);
+        assert!(c.allow_dead.is_empty());
+    }
+
+    #[test]
+    fn trusted_matches_files_functions_and_dir_prefixes() {
+        let c = AuditConfig::parse(SAMPLE).unwrap();
+        assert!(c.is_trusted("crates/hw/src/cortexm/mpu.rs", None));
+        assert!(c.is_trusted("crates/hw/src/cortexm/mpu.rs", Some("anything")));
+        assert!(c.is_trusted("crates/core/src/cortexm.rs", Some("configure_mpu")));
+        assert!(!c.is_trusted("crates/core/src/cortexm.rs", Some("choose_geometry")));
+        assert!(!c.is_trusted("crates/core/src/cortexm.rs", None));
+        assert!(c.is_trusted("crates/hw/src/riscv/pmp.rs", None));
+        assert!(!c.is_trusted("crates/hw/src/riscv2/pmp.rs", None));
+    }
+
+    #[test]
+    fn file_level_trust_is_distinct_from_fn_level() {
+        let c = AuditConfig::parse(SAMPLE).unwrap();
+        assert!(c.is_trusted_file("crates/hw/src/cortexm/mpu.rs"));
+        assert!(!c.is_trusted_file("crates/core/src/cortexm.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = AuditConfig::parse("[tcb]\nnonsense without equals\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = AuditConfig::parse("[tcb]\ntrusted = [\"a\"").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn missing_sections_default_to_empty() {
+        let c = AuditConfig::parse("").unwrap();
+        assert!(c.trusted.is_empty() && c.coverage_files.is_empty());
+    }
+}

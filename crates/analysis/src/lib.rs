@@ -1,0 +1,44 @@
+//! `tt-analysis`: source-level static isolation auditing for the TickTock
+//! reproduction (the `tt-audit` binary).
+//!
+//! The paper's isolation argument rests on a *small, declared* trusted
+//! computing base: Flux checks everything outside it, and the trusted
+//! remainder is listed so reviewers can audit it (§5, Fig. 10). In this
+//! reproduction the checking is done by the runtime contract engine — so
+//! nothing, until this crate, enforced that the trusted surface stays
+//! declared. `tt-audit` closes the loop with three passes over the
+//! workspace sources:
+//!
+//! 1. **TCB audit** ([`tcb`]) — `unsafe`, raw MPU/PMP register stores and
+//!    raw-pointer (DMA) operations must fall inside the allowlist in
+//!    `ci/tcb_allowlist.toml`; anything else is an error with a
+//!    `file:line` span.
+//! 2. **Invariant-coverage lint** ([`coverage`]) — every public mutator of
+//!    the invariant-bearing structures (`AppBreaks`,
+//!    `AppMemoryAllocator`, `RArray`) must discharge `check_invariants()`
+//!    on all success paths, or carry a `// TRUSTED:` annotation.
+//! 3. **Obligation cross-check** ([`crosscheck`]) — the contract sites in
+//!    source and the obligations registered in the `tt-contracts`
+//!    [`Registry`](tt_contracts::obligation::Registry) must agree:
+//!    unregistered sites and dead obligations both fail the audit.
+//!
+//! The audit also *generates* the Fig. 10 proof-effort table (now with a
+//! trusted-LOC column) as `BENCH_fig10.json` ([`report`]), which
+//! `tt-bench` consumes instead of maintaining its own counts. `tt-audit
+//! --check` is a tier-1 CI gate.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod config;
+pub mod coverage;
+pub mod crosscheck;
+pub mod findings;
+pub mod report;
+pub mod source;
+pub mod tcb;
+
+pub use audit::{load_workspace, run, run_passes, workspace_root, DEFAULT_CONFIG};
+pub use config::AuditConfig;
+pub use findings::{Finding, Pass};
+pub use report::{to_json, AuditReport, ComponentRow};

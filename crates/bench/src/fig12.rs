@@ -43,7 +43,9 @@ impl Effort {
     };
 }
 
-/// Builds the full Fig. 12 registry (all three components).
+/// Builds the full Fig. 12 registry: the paper's three components plus
+/// the reproduction's own additions (the PR 2 commit-cache soundness
+/// obligation and the refined-pointer obligations of the hardware model).
 pub fn build_registry(effort: Effort) -> Registry {
     let mut registry = Registry::new();
     tt_legacy::obligations::register_obligations(
@@ -53,6 +55,8 @@ pub fn build_registry(effort: Effort) -> Registry {
     );
     ticktock::obligations::register_obligations(&mut registry, effort.granular_density);
     tt_fluxarm::contracts::register_obligations(&mut registry, effort.interrupt_depth);
+    tt_kernel::obligations::register_obligations(&mut registry, effort.granular_density);
+    tt_hw::obligations::register_obligations(&mut registry, effort.granular_density);
     registry
 }
 
@@ -126,10 +130,16 @@ mod tests {
     }
 
     #[test]
-    fn rendered_table_has_three_components() {
+    fn rendered_table_has_all_components() {
         let report = run(Effort::QUICK);
         let table = render(&report);
-        for c in [MONOLITHIC, GRANULAR, INTERRUPTS] {
+        for c in [
+            MONOLITHIC,
+            GRANULAR,
+            INTERRUPTS,
+            tt_kernel::obligations::COMPONENT,
+            tt_hw::obligations::COMPONENT,
+        ] {
             assert!(table.contains(c), "missing {c}");
         }
     }

@@ -29,6 +29,8 @@
 //!
 //! [Flux]: https://flux-rs.github.io/flux/
 
+#![warn(missing_docs)]
+
 pub mod domain;
 pub mod effort;
 pub mod lemmas;

@@ -50,6 +50,10 @@ pub struct ComponentStats {
     pub stddev: Duration,
     /// Functions with at least one refuted obligation.
     pub refuted_fns: usize,
+    /// Functions whose result was served from the incremental cache.
+    /// Their (near-zero) durations still enter the timing summary, so a
+    /// warm run shows the incremental speedup directly in `total`.
+    pub cached_fns: usize,
 }
 
 /// A full verification run over a [`Registry`].
@@ -83,6 +87,11 @@ impl VerificationReport {
             .iter()
             .filter(|f| (component.is_empty() || f.component == component) && !f.verified())
             .count();
+        let cached_fns = self
+            .functions
+            .iter()
+            .filter(|f| (component.is_empty() || f.component == component) && f.cached)
+            .count();
         let fns = durations.len();
         let total: Duration = durations.iter().sum();
         let max = durations.iter().max().copied().unwrap_or_default();
@@ -111,6 +120,7 @@ impl VerificationReport {
             mean,
             stddev: Duration::from_secs_f64(var.sqrt()),
             refuted_fns,
+            cached_fns,
         }
     }
 
@@ -418,6 +428,67 @@ mod tests {
         assert_eq!(stats.refuted_fns, 0);
         let all = report.component_stats("");
         assert_eq!(all.fns, 3);
+    }
+
+    #[test]
+    fn single_function_component_has_zero_stddev() {
+        let report = Verifier::new().verify(&registry_with(true));
+        let stats = report.component_stats("c1");
+        assert_eq!(stats.fns, 1);
+        assert_eq!(stats.stddev, Duration::ZERO);
+        assert_eq!(stats.total, stats.max);
+        assert_eq!(stats.total, stats.mean);
+    }
+
+    #[test]
+    fn empty_component_stats_are_all_zero() {
+        let report = Verifier::new().verify(&registry_with(true));
+        let stats = report.component_stats("no-such-component");
+        assert_eq!(stats.fns, 0);
+        assert_eq!(stats.total, Duration::ZERO);
+        assert_eq!(stats.max, Duration::ZERO);
+        assert_eq!(stats.mean, Duration::ZERO);
+        assert_eq!(stats.stddev, Duration::ZERO);
+        assert_eq!(stats.refuted_fns, 0);
+        assert_eq!(stats.cached_fns, 0);
+    }
+
+    #[test]
+    fn all_trusted_component_verifies_with_zero_cases() {
+        let mut r = Registry::new();
+        r.add_trusted("k", "axiom_a", ContractKind::Lemma);
+        r.add_trusted("k", "axiom_b", ContractKind::Post);
+        let report = Verifier::new().verify(&r);
+        assert!(report.all_verified());
+        assert!(report.functions.iter().all(|f| f.trusted));
+        assert!(report.functions.iter().all(|f| f.cases == 0));
+        let stats = report.component_stats("k");
+        assert_eq!(stats.fns, 2);
+        assert_eq!(stats.refuted_fns, 0);
+    }
+
+    #[test]
+    fn cached_results_are_counted_in_component_stats() {
+        let mut r = Registry::new();
+        r.add_fn("k", "f", ContractKind::Post, || CheckResult::Verified {
+            cases: 1,
+        });
+        r.add_fn("k", "g", ContractKind::Post, || CheckResult::Verified {
+            cases: 1,
+        });
+        let verifier = Verifier::new();
+        let mut cache = VerificationCache::new();
+        let cold = verifier.verify_with_cache(&r, &mut cache);
+        assert_eq!(cold.component_stats("k").cached_fns, 0);
+        // Add a third function: the warm run re-checks only it.
+        r.add_fn("k", "h", ContractKind::Post, || CheckResult::Verified {
+            cases: 1,
+        });
+        let warm = verifier.verify_with_cache(&r, &mut cache);
+        let stats = warm.component_stats("k");
+        assert_eq!(stats.fns, 3);
+        assert_eq!(stats.cached_fns, 2);
+        assert_eq!(warm.component_stats("").cached_fns, 2);
     }
 
     #[test]

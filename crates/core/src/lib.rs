@@ -16,6 +16,8 @@
 //! * [`obligations`] — the Figure 12 "TickTock (Granular)" verification
 //!   workload.
 
+#![warn(missing_docs)]
+
 pub mod allocator;
 pub mod breaks;
 pub mod cortexm;

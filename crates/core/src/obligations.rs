@@ -344,11 +344,11 @@ pub fn register_obligations(registry: &mut Registry, density: usize) {
             "SimDmaEngine::complete",
             "SimDmaEngine::busy",
             "granular_process::create",
-            "granular_process::restart",
+            "granular_process::restart_process",
             "granular_process::brk",
             "granular_process::sbrk",
             "granular_process::allocate_grant",
-            "granular_process::enter_grant",
+            "Grant::enter",
             "granular_process::build_readonly_buffer",
             "granular_process::build_readwrite_buffer",
             "granular_process::setup_mpu",

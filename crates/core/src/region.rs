@@ -105,6 +105,18 @@ impl<R: RegionDescriptor> RArray<R> {
             region.region_id()
         );
         self.regions[i] = region;
+        self.check_invariants();
+    }
+
+    /// The `RArray` well-formedness invariant: every slot holds the
+    /// descriptor whose `region_id` names that slot. `set` rejects a
+    /// mismatched write up front; this re-checks the whole array after
+    /// every mutation (and is what the `tt-audit` coverage lint requires
+    /// of all public mutators here).
+    pub fn check_invariants(&self) {
+        for (i, r) in self.regions.iter().enumerate() {
+            tt_contracts::invariant!("RArray", r.region_id() == i);
+        }
     }
 
     /// Iterates over all eight slots in slot order.

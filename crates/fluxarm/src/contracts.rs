@@ -277,6 +277,24 @@ pub fn register_obligations(registry: &mut Registry, depth: usize) {
             "Arm7::is_valid_ram_addr",
             "Arm7::is_valid_sp_addr",
             "Arm7::mov_reg",
+            // ALU and control-flow contract sites in `alu.rs`/`insns.rs`/
+            // `exceptions.rs` — registered so the `tt-audit` cross-check
+            // sees every `requires!`/`ensures!` site backed by a
+            // discharged obligation.
+            "Arm7::adds_reg",
+            "Arm7::subs_reg",
+            "Arm7::cmp_reg",
+            "Arm7::cmp_imm",
+            "Arm7::ands_reg",
+            "Arm7::mvns_reg",
+            "Arm7::lsls_imm",
+            "Arm7::lsrs_imm",
+            "Arm7::bl",
+            "Arm7::push",
+            "Arm7::pop",
+            "Arm7::svc",
+            "Arm7::exception_entry",
+            "Arm7::exception_return",
             "Arm7::isb",
             "Arm7::dsb",
             "Arm7::ldr_imm",

@@ -18,6 +18,7 @@ pub mod commit_cache;
 pub mod cortexm;
 pub mod cycles;
 pub mod mem;
+pub mod obligations;
 pub mod perms;
 pub mod platform;
 pub mod registers;

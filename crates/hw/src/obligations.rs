@@ -1,0 +1,124 @@
+//! Verification obligations for the hardware model's refined pointers.
+//!
+//! [`crate::addr`] carries the lowest-level contracts in the workspace:
+//! the `AddrRange` well-formedness invariant (`start <= end`) and the
+//! overflow obligations on `PtrU8` arithmetic (`checked_add`/`checked_sub`
+//! at the `PtrU8::offset`/`offset_back`/`sub` sites). Until this module,
+//! those sites were enforced at runtime but never registered with the
+//! `tt-contracts` [`Registry`] — invisible to the Fig. 12 verifier and,
+//! once `tt-audit` exists, a cross-check failure. Registering them here
+//! closes the gap.
+
+use crate::addr::{AddrRange, PtrU8};
+use tt_contracts::obligation::{CheckResult, Registry};
+use tt_contracts::ContractKind;
+
+/// The Fig. 10/12 component name for these obligations.
+pub const COMPONENT: &str = "Hardware Model";
+
+/// Registers the refined-pointer obligations.
+pub fn register_obligations(registry: &mut Registry, density: usize) {
+    registry.add_fn(
+        COMPONENT,
+        "AddrRange::new",
+        ContractKind::Invariant,
+        move || {
+            let d = density.max(1);
+            let mut cases = 0u64;
+            // Walk a grid of (start, end) pairs; the invariant must flag
+            // exactly the inverted ones.
+            for i in 0..=(4 * d) {
+                for j in 0..=(4 * d) {
+                    let (start, end) = (i * 0x400, j * 0x400);
+                    let violations = tt_contracts::with_mode(tt_contracts::Mode::Observe, || {
+                        let _ = AddrRange::new(start, end);
+                        tt_contracts::take_violations()
+                    });
+                    if violations.is_empty() != (start <= end) {
+                        return CheckResult::Refuted {
+                            counterexample: format!("start={start:#x} end={end:#x}"),
+                        };
+                    }
+                    cases += 1;
+                }
+            }
+            CheckResult::Verified { cases }
+        },
+    );
+
+    registry.add_fn(
+        COMPONENT,
+        "PtrU8::offset",
+        ContractKind::Overflow,
+        move || {
+            let d = density.max(1) as u64;
+            let mut cases = 0u64;
+            for k in 0..=(4 * d) {
+                // Near-wraparound offsets: the checked_add site must fire on
+                // overflow and stay silent otherwise.
+                let base = usize::MAX - (k as usize) * 8;
+                for bytes in [0usize, 4, 8, 64] {
+                    let overflows = base.checked_add(bytes).is_none();
+                    let violations = tt_contracts::with_mode(tt_contracts::Mode::Observe, || {
+                        let _ = PtrU8::new(base).offset(bytes);
+                        tt_contracts::take_violations()
+                    });
+                    if violations.is_empty() == overflows {
+                        return CheckResult::Refuted {
+                            counterexample: format!("base={base:#x} bytes={bytes}"),
+                        };
+                    }
+                    cases += 1;
+                }
+            }
+            CheckResult::Verified { cases }
+        },
+    );
+
+    // The remaining pointer and range helpers carry builtin safety
+    // obligations only.
+    registry.add_builtin_safety(
+        COMPONENT,
+        &[
+            "PtrU8::offset_back",
+            "PtrU8::sub",
+            "PtrU8::align_up",
+            "PtrU8::is_aligned",
+            "AddrRange::from_start_size",
+            "AddrRange::len",
+            "AddrRange::contains",
+            "AddrRange::contains_range",
+            "AddrRange::overlaps",
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refined_pointer_obligations_verify() {
+        let mut r = Registry::new();
+        register_obligations(&mut r, 2);
+        assert_eq!(r.components(), vec![COMPONENT]);
+        for o in r.obligations() {
+            assert!((o.check)().passed(), "{} refuted", o.function);
+        }
+    }
+
+    #[test]
+    fn addr_range_obligation_actually_explores_inverted_ranges() {
+        let mut r = Registry::new();
+        register_obligations(&mut r, 1);
+        let o = r
+            .obligations()
+            .iter()
+            .find(|o| o.function == "AddrRange::new")
+            .unwrap();
+        match (o.check)() {
+            CheckResult::Verified { cases } => assert!(cases >= 25),
+            other => panic!("{other:?}"),
+        }
+    }
+}

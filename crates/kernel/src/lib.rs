@@ -14,6 +14,7 @@ pub mod grant;
 pub mod kernel;
 pub mod loader;
 pub mod machine;
+pub mod obligations;
 pub mod process;
 pub mod trace;
 

@@ -1,0 +1,189 @@
+//! Verification obligations for the kernel's MPU commit cache.
+//!
+//! PR 2 added the `(pid, generation)` commit cache: `setup_mpu` skips the
+//! full register commit when the live hardware configuration is already
+//! the process's current one. The soundness of that elision is the
+//! debug-mode invariant at the hit site in [`crate::process`]:
+//!
+//! > `"Process::setup_mpu cache hit: hardware == staged regions"`
+//!
+//! This module registers that invariant as a first-class obligation in
+//! the `tt-contracts` [`Registry`], so it is discharged by the Fig. 12
+//! verifier and counted in the Fig. 10/12 reports like every other
+//! contract — and so the static cross-check (`tt-audit`) finds the site
+//! registered. The check drives the real [`CommitCache`] and the real
+//! granular MPU drivers (ARM and all PMP chips) through the
+//! commit/hit/invalidate protocol and refutes on any path where a hit
+//! would re-arm hardware that no longer matches the staged regions.
+
+use crate::machine::CommitCache;
+use ticktock::cortexm::GranularCortexM;
+use ticktock::mpu::Mpu;
+use ticktock::riscv::{GranularPmp, GranularPmpE310, GranularPmpIbex};
+use tt_contracts::obligation::{CheckResult, Registry};
+use tt_contracts::ContractKind;
+use tt_hw::riscv::PmpChip;
+use tt_hw::{Permissions, PtrU8};
+
+/// The Fig. 10/12 component name for these obligations.
+pub const COMPONENT: &str = "Kernel (Commit Cache)";
+
+/// Drives one MPU driver through the cache protocol. `alt` is a second,
+/// different region set used to prove `hardware_matches` discriminates.
+fn check_protocol<M: Mpu>(
+    mpu: &M,
+    regions: &[M::Region],
+    alt: &[M::Region],
+    density: usize,
+) -> Result<u64, String> {
+    let cache = CommitCache::default();
+    let mut cases = 0u64;
+    for pid in 0..density.max(1) as u32 {
+        for generation in 0..density.max(1) as u64 {
+            // Cold: nothing committed yet, the lookup must miss.
+            if cache.lookup(pid, generation) {
+                return Err(format!("cold hit for pid={pid} gen={generation}"));
+            }
+            // Miss path: full commit, then record the configuration.
+            mpu.configure_mpu(regions);
+            cache.note_committed(pid, generation);
+            // Hit path: the lookup succeeds and — the §4.3-style soundness
+            // condition — the live hardware equals the staged regions.
+            if !cache.lookup(pid, generation) {
+                return Err(format!("warm miss for pid={pid} gen={generation}"));
+            }
+            mpu.reenable_mpu();
+            if !mpu.hardware_matches(regions) {
+                return Err(format!(
+                    "hit with hardware != staged regions (pid={pid} gen={generation})"
+                ));
+            }
+            // Any other (pid, generation) must miss, without disturbing
+            // the cached entry.
+            if cache.lookup(pid, generation + 1) || cache.lookup(pid + 1, generation) {
+                return Err("stale (pid, generation) produced a hit".into());
+            }
+            if !cache.lookup(pid, generation) {
+                return Err("cached entry lost by a mismatching lookup".into());
+            }
+            // A foreign commit makes the old regions stale: the readback
+            // check must notice (this is what the invariant protects).
+            mpu.configure_mpu(alt);
+            if mpu.hardware_matches(regions) {
+                return Err("hardware_matches blind to a foreign commit".into());
+            }
+            cache.invalidate();
+            if cache.lookup(pid, generation) {
+                return Err("hit after invalidate".into());
+            }
+            // With elision disabled the cache behaves like the pre-cache
+            // kernel: every lookup misses and nothing is recorded.
+            let disabled_ok = tt_hw::commit_cache::with_disabled(|| {
+                cache.note_committed(pid, generation);
+                !cache.lookup(pid, generation)
+            });
+            if !disabled_ok {
+                return Err("lookup hit while elision is disabled".into());
+            }
+            cases += 1;
+        }
+    }
+    Ok(cases)
+}
+
+/// Builds two distinct single-region ARM configurations.
+fn arm_region(start: usize) -> ticktock::cortexm::CortexMRegion {
+    GranularCortexM::create_exact_region(2, PtrU8::new(start), 0x1000, Permissions::ReadWriteOnly)
+        .expect("exact 4K region")
+}
+
+/// Builds two distinct single-region PMP configurations.
+fn pmp_region<const G: usize>(start: usize) -> ticktock::riscv::PmpRegion {
+    GranularPmp::<G>::create_exact_region(2, PtrU8::new(start), 0x1000, Permissions::ReadWriteOnly)
+        .expect("exact 4K region")
+}
+
+/// Registers the commit-cache obligations.
+pub fn register_obligations(registry: &mut Registry, density: usize) {
+    registry.add_fn(
+        COMPONENT,
+        "Process::setup_mpu",
+        ContractKind::Invariant,
+        move || {
+            let mut cases = 0u64;
+            // ARM MPU.
+            let arm = GranularCortexM::with_fresh_hardware();
+            match check_protocol(
+                &arm,
+                &[arm_region(0x2000_0000)],
+                &[arm_region(0x2000_4000)],
+                density,
+            ) {
+                Ok(c) => cases += c,
+                Err(counterexample) => return CheckResult::Refuted { counterexample },
+            }
+            // PMP, both granularities.
+            let e310 = GranularPmpE310::with_fresh_hardware(PmpChip::SifiveE310);
+            match check_protocol(
+                &e310,
+                &[pmp_region::<4>(0x8000_0000)],
+                &[pmp_region::<4>(0x8000_4000)],
+                density,
+            ) {
+                Ok(c) => cases += c,
+                Err(counterexample) => return CheckResult::Refuted { counterexample },
+            }
+            let ibex = GranularPmpIbex::with_fresh_hardware(PmpChip::IbexEarlGrey);
+            match check_protocol(
+                &ibex,
+                &[pmp_region::<8>(0x1000_0000)],
+                &[pmp_region::<8>(0x1000_4000)],
+                density,
+            ) {
+                Ok(c) => cases += c,
+                Err(counterexample) => return CheckResult::Refuted { counterexample },
+            }
+            CheckResult::Verified { cases }
+        },
+    );
+
+    // The cache bookkeeping itself carries only builtin safety obligations
+    // (counter arithmetic, Option state).
+    registry.add_builtin_safety(
+        COMPONENT,
+        &[
+            "CommitCache::lookup",
+            "CommitCache::note_committed",
+            "CommitCache::invalidate",
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_contracts::obligation::CheckResult;
+
+    #[test]
+    fn commit_cache_obligation_verifies() {
+        let mut r = Registry::new();
+        register_obligations(&mut r, 2);
+        assert_eq!(r.function_count(COMPONENT), 4);
+        let setup = r
+            .obligations()
+            .iter()
+            .find(|o| o.function == "Process::setup_mpu")
+            .unwrap();
+        match (setup.check)() {
+            CheckResult::Verified { cases } => assert!(cases >= 12, "only {cases} cases"),
+            other => panic!("refuted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obligation_appears_in_the_workspace_component_list() {
+        let mut r = Registry::new();
+        register_obligations(&mut r, 1);
+        assert_eq!(r.components(), vec![COMPONENT]);
+    }
+}

@@ -247,15 +247,23 @@ pub fn register_obligations(registry: &mut Registry, variant: BugVariant, densit
             "check_disagreement",
             "AllocLayout::isolation_holds",
             "legacy_process::create",
-            "legacy_process::restart",
-            "legacy_process::grant_for",
-            "legacy_process::enter_grant",
+            "legacy_process::restart_process",
+            "Grant::ensure",
+            "Grant::enter",
             "legacy_process::brk",
             "legacy_process::sbrk",
             "legacy_process::build_readonly_buffer",
             "legacy_process::build_readwrite_buffer",
             "legacy_process::setup_mpu",
             "legacy_process::allocate_grant",
+            // The checked-arithmetic contract sites of the monolithic
+            // allocator (`legacy::alloc` / `legacy::update` in cortexm.rs,
+            // `legacy-pmp::alloc` in riscv.rs), registered under their
+            // site names so the `tt-audit` cross-check sees them
+            // discharged.
+            "legacy::alloc",
+            "legacy::update",
+            "legacy-pmp::alloc",
         ],
     );
 
