@@ -57,6 +57,7 @@ pub fn workspace_registry() -> Registry {
     ticktock::obligations::register_obligations(&mut registry, 1);
     tt_fluxarm::contracts::register_obligations(&mut registry, 1);
     tt_kernel::obligations::register_obligations(&mut registry, 1);
+    tt_kernel::recovery::register_obligations(&mut registry, 1);
     tt_hw::obligations::register_obligations(&mut registry, 1);
     registry
 }

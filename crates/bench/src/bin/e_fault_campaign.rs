@@ -1,0 +1,89 @@
+//! The fault-injection campaign gate: isolation under fire.
+//!
+//! Runs `--seeds N` (default 75) seeded injection campaigns per chip,
+//! each seed twice — commit cache enabled (warm) and disabled (cold) —
+//! across all seven chip profiles: 75 × 2 × 7 = 1050 injected runs. Every
+//! run must satisfy the three-part oracle in `tt_kernel::campaign`:
+//!
+//! 1. bystander processes' observable traces are byte-identical to an
+//!    uninjected reference run (isolation holds under injected faults);
+//! 2. no contract obligation is violated at any recovery step;
+//! 3. recovery converges — bystanders exit, the victim ends `Exited` or
+//!    (restart cap) `Killed`, never a livelock.
+//!
+//! With `--check`, exits non-zero on any oracle failure (the CI gate).
+//! With `--json [path]`, writes `BENCH_fault.json` with per-chip recovery
+//! latency (warm vs cold commit cache) and campaign counters.
+
+use std::process::ExitCode;
+
+use tt_bench::json;
+use tt_kernel::campaign::{render_report, run_campaign};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(75);
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_fault.json".into())
+    });
+
+    println!("Fault-injection campaign (seeded, deterministic; victim pid 0, 2 bystanders)");
+    let started = std::time::Instant::now();
+    let reports = run_campaign(seeds);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    print!("{}", render_report(&reports, seeds));
+    println!("wall clock: {wall_ms:.0} ms");
+
+    let failures: usize = reports.iter().map(|r| r.failures.len()).sum();
+
+    if let Some(path) = json_path {
+        let mut doc = String::new();
+        doc.push_str("{\n  \"experiment\": \"e_fault_campaign\",\n");
+        doc.push_str(&format!("  \"seeds_per_chip\": {seeds},\n"));
+        doc.push_str(&format!(
+            "  \"injected_runs\": {},\n",
+            reports.iter().map(|r| r.runs * 2).sum::<u64>()
+        ));
+        doc.push_str(&format!("  \"failures\": {failures},\n"));
+        doc.push_str(&format!("  \"wall_clock_ms\": {},\n", json::num(wall_ms)));
+        doc.push_str("  \"chips\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\"chip\": \"{}\", \"runs\": {}, \"fired\": {}, \"recoveries\": {}, \
+                 \"restarts\": {}, \"killed\": {}, \"recovery_cycles_warm_mean\": {}, \
+                 \"recovery_cycles_cold_mean\": {}, \"failures\": {}}}{}\n",
+                json::escape(r.chip),
+                r.runs * 2,
+                r.fired,
+                r.recoveries,
+                r.restarts,
+                r.killed,
+                json::num(r.warm_mean()),
+                json::num(r.cold_mean()),
+                r.failures.len(),
+                if i + 1 < reports.len() { "," } else { "" }
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} chips)", reports.len());
+    }
+
+    if check && failures > 0 {
+        eprintln!("fault campaign FAILED: {failures} oracle violations");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -56,6 +56,7 @@ pub fn build_registry(effort: Effort) -> Registry {
     ticktock::obligations::register_obligations(&mut registry, effort.granular_density);
     tt_fluxarm::contracts::register_obligations(&mut registry, effort.interrupt_depth);
     tt_kernel::obligations::register_obligations(&mut registry, effort.granular_density);
+    tt_kernel::recovery::register_obligations(&mut registry, effort.granular_density);
     tt_hw::obligations::register_obligations(&mut registry, effort.granular_density);
     registry
 }
@@ -138,6 +139,7 @@ mod tests {
             GRANULAR,
             INTERRUPTS,
             tt_kernel::obligations::COMPONENT,
+            tt_kernel::recovery::COMPONENT,
             tt_hw::obligations::COMPONENT,
         ] {
             assert!(table.contains(c), "missing {c}");

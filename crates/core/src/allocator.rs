@@ -298,6 +298,48 @@ impl<M: Mpu> AppMemoryAllocator<M> {
         Ok(PtrU8::new(new_kb))
     }
 
+    /// Fault-recovery step 1: releases every grant allocation by raising
+    /// the kernel break back to the top of the memory block. The staged
+    /// regions are untouched (grants were never hardware-accessible), but
+    /// the generation moves so no cached commit survives the transition.
+    pub fn reclaim_grants(&mut self) -> Result<(), UpdateError> {
+        charge_n(Cost::Store, 1);
+        let memory_end = PtrU8::new(self.breaks.memory_end());
+        self.breaks
+            .set_kernel_break(memory_end)
+            .map_err(|_| UpdateError::InvalidBreak)?;
+        self.generation = next_generation();
+        self.check_invariants();
+        Ok(())
+    }
+
+    /// Fault-recovery step 2: scrubs the staged RAM regions and re-derives
+    /// them from the logical breaks — the recovery analogue of the
+    /// allocation path's "breaks derive from regions" rule, run in reverse
+    /// after a fault may have left the staged state suspect. Nothing is
+    /// committed to hardware here; the caller invalidates the commit cache
+    /// and the next `configure_mpu` pushes the rebuilt configuration.
+    pub fn rederive_regions(&mut self) -> Result<(), UpdateError> {
+        charge_n(Cost::Alu, 2);
+        let memory_start = self.breaks.memory_start;
+        let available = self.breaks.kernel_break.as_usize() - memory_start.as_usize();
+        let total = self.breaks.app_break.as_usize() - memory_start.as_usize();
+        let pair = M::update_regions(
+            MAX_RAM_REGION_NUMBER,
+            memory_start,
+            available,
+            std::cmp::max(total, 1),
+            Permissions::ReadWriteOnly,
+        )
+        .ok_or(UpdateError::HeapError)?;
+        charge_n(Cost::Store, 2);
+        self.regions.set(RAM_REGION_0, pair.fst);
+        self.regions.set(MAX_RAM_REGION_NUMBER, pair.snd);
+        self.generation = next_generation();
+        self.check_invariants();
+        Ok(())
+    }
+
     /// Validates that a process-supplied buffer lies entirely within the
     /// process-accessible RAM — the `allow_readonly`/`allow_readwrite`
     /// check. Pure bounds arithmetic on the logical view; no MPU reads.
@@ -553,6 +595,62 @@ mod tests {
         assert_eq!(start, 0x8000_0000);
         assert!(end - start > 2048);
         assert!(end - start <= 2056, "PMP slack is tight");
+    }
+
+    #[test]
+    fn reclaim_grants_raises_kernel_break_to_block_end() {
+        let mut a = alloc_arm(3000, 1024);
+        a.allocate_grant(256).unwrap();
+        a.allocate_grant(64).unwrap();
+        let g_before = a.generation();
+        assert!(a.breaks.kernel_break.as_usize() < a.breaks.memory_end());
+        a.reclaim_grants().unwrap();
+        assert_eq!(a.breaks.kernel_break.as_usize(), a.breaks.memory_end());
+        assert!(a.generation() > g_before);
+        // Reclaimed space is allocatable again.
+        a.allocate_grant(256).unwrap();
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn rederive_rebuilds_the_ram_pair_and_keeps_invariants() {
+        let mut a = alloc_arm(3000, 1024);
+        let span_before = a.accessible_span().unwrap();
+        let g_before = a.generation();
+        // Scrub the staged RAM regions to simulate suspect state, then
+        // re-derive from the breaks.
+        a.regions
+            .set(RAM_REGION_0, RegionDescriptor::unset(RAM_REGION_0));
+        a.regions.set(
+            MAX_RAM_REGION_NUMBER,
+            RegionDescriptor::unset(MAX_RAM_REGION_NUMBER),
+        );
+        a.rederive_regions().unwrap();
+        let span_after = a.accessible_span().unwrap();
+        assert_eq!(span_after.0, span_before.0);
+        assert!(span_after.1 >= a.breaks.app_break.as_usize());
+        assert!(span_after.1 <= a.breaks.kernel_break.as_usize());
+        assert!(a.generation() > g_before);
+        assert_eq!(tt_contracts::violation_count(), 0);
+    }
+
+    #[test]
+    fn reclaim_then_rederive_works_on_pmp_too() {
+        let mut a = AppMemoryAllocator::<GranularPmpE310>::allocate_app_memory(
+            PtrU8::new(0x8000_0000),
+            0x4000,
+            0,
+            2048,
+            512,
+            PtrU8::new(0x2000_0000),
+            0x1000,
+        )
+        .unwrap();
+        a.allocate_grant(128).unwrap();
+        a.reclaim_grants().unwrap();
+        a.rederive_regions().unwrap();
+        assert_eq!(a.breaks.kernel_break.as_usize(), a.breaks.memory_end());
+        assert_eq!(tt_contracts::violation_count(), 0);
     }
 
     #[test]

@@ -220,20 +220,11 @@ impl<const G: usize> Mpu for GranularPmp<G> {
     // TRUSTED: CSR write-out is part of the TCB (§6.1).
     fn configure_mpu(&self, regions: &[PmpRegion]) {
         let mut hw = self.hardware.borrow_mut();
-        let entries = hw.chip().entries();
-        for region in regions {
-            let base = region.region_id() * 2;
-            if base + 1 >= entries {
-                // This chip has fewer PMP entries than region slots; unset
-                // slots beyond the hardware are fine, set ones are a
-                // configuration error caught by the allocator's invariant.
-                debug_assert!(
-                    !region.is_set(),
-                    "region {} beyond PMP entries",
-                    region.region_id()
-                );
+        let slots = Self::placement(&hw, regions);
+        for (region, slot) in regions.iter().zip(slots) {
+            let Some(base) = slot else {
                 continue;
-            }
+            };
             let (lo, hi) = region.addr_values();
             let cfg = region.cfg_value();
             // Diff-commit: skip all four CSR writes when the live entry
@@ -261,15 +252,74 @@ impl<const G: usize> Mpu for GranularPmp<G> {
 
     fn hardware_matches(&self, regions: &[PmpRegion]) -> bool {
         let hw = self.hardware.borrow();
-        let entries = hw.chip().entries();
-        regions.iter().all(|region| {
-            let base = region.region_id() * 2;
-            if base + 1 >= entries {
+        let slots = Self::placement(&hw, regions);
+        regions.iter().zip(slots).all(|(region, slot)| {
+            let Some(base) = slot else {
+                // No pair: fine for an unset region (a bricked pair's
+                // locked garbage is confined to the faulted process's own
+                // extents), a config failure for a set one.
                 return !region.is_set();
-            }
+            };
             let (lo, hi) = region.addr_values();
             hw.entry_matches(base, lo, 0) && hw.entry_matches(base + 1, hi, region.cfg_value())
         })
+    }
+}
+
+impl<const G: usize> GranularPmp<G> {
+    /// Returns `true` when either entry of the pair at `base` is locked.
+    /// pmpcfg.L is sticky until hart reset, so a locked pair can never be
+    /// rewritten: it must not host a region (and a locked bottom entry
+    /// would silently corrupt the pair's TOR range).
+    fn pair_bricked(hw: &RiscvPmp, base: usize) -> bool {
+        hw.entry(base).locked() || hw.entry(base + 1).locked()
+    }
+
+    /// Deterministic slot placement: each region keeps its default entry
+    /// pair (`region_id * 2`) unless that pair is bricked by a locked
+    /// entry — a fault-injected (or silicon-failed) lock bit — in which
+    /// case a *set* region relocates to the lowest unbricked pair no
+    /// other region claims. `None` means nothing can (or need) be
+    /// written: an unset region on a bricked pair, or a set region with
+    /// no usable pair left (caught by `hardware_matches` and handled by
+    /// the kernel's fault path).
+    ///
+    /// A pure function of the staged regions and the hardware lock
+    /// pattern, so the commit and consistency-check paths always agree.
+    fn placement(hw: &RiscvPmp, regions: &[PmpRegion]) -> Vec<Option<usize>> {
+        let pairs = hw.chip().entries() / 2;
+        let mut used = vec![false; pairs];
+        let mut slots = vec![None; regions.len()];
+        // Set regions first: default pair when unbricked …
+        for (slot, region) in slots.iter_mut().zip(regions) {
+            let pair = region.region_id();
+            if region.is_set() && pair < pairs && !Self::pair_bricked(hw, pair * 2) {
+                *slot = Some(pair * 2);
+                used[pair] = true;
+            }
+        }
+        // … else the lowest unbricked pair left (its four writes overwrite
+        // whatever junk the pair held, so no separate clear is needed).
+        for (slot, region) in slots.iter_mut().zip(regions) {
+            if slot.is_some() || !region.is_set() {
+                continue;
+            }
+            if let Some(pair) = (0..pairs).find(|p| !used[*p] && !Self::pair_bricked(hw, p * 2)) {
+                *slot = Some(pair * 2);
+                used[pair] = true;
+            }
+        }
+        // Unset regions last: they only clear stale state at their default
+        // pair, and only when no live region claimed it.
+        for (slot, region) in slots.iter_mut().zip(regions) {
+            let pair = region.region_id();
+            if !region.is_set() && pair < pairs && !used[pair] && !Self::pair_bricked(hw, pair * 2)
+            {
+                *slot = Some(pair * 2);
+                used[pair] = true;
+            }
+        }
+        slots
     }
 }
 
@@ -299,6 +349,64 @@ mod tests {
         assert!(!r.is_set());
         assert_eq!(r.start(), None);
         assert!(!r.overlaps(0, usize::MAX));
+    }
+
+    #[test]
+    fn regions_relocate_off_a_locked_pair() {
+        // A fault-injected lock bit bricks entry 1 (pair 0). The commit
+        // must relocate the region to a free pair — locked entries ignore
+        // writes until hart reset, so rewriting in place is impossible.
+        let drv = GranularPmpEsp32C3::with_fresh_hardware(PmpChip::Esp32C3);
+        let ram = PmpRegion::new(0, RAM, RAM + 0xC00, Permissions::ReadWriteOnly);
+        let flash = PmpRegion::new(2, 0x4204_0000, 0x4204_1000, Permissions::ReadExecuteOnly);
+        let regions = [ram, flash];
+        drv.configure_mpu(&regions);
+        assert!(drv.hardware_matches(&regions));
+        {
+            let hw = drv.hardware();
+            let mut hw = hw.borrow_mut();
+            let cfg = hw.entry(1).cfg;
+            hw.write_cfg(1, cfg | 0x80);
+            assert!(hw.entry(1).locked());
+        }
+        assert!(!drv.hardware_matches(&regions), "brick detected");
+        drv.configure_mpu(&regions);
+        assert!(drv.hardware_matches(&regions), "region relocated");
+        let hw = drv.hardware();
+        let hw = hw.borrow();
+        // Pair 1 (entries 2, 3) now hosts the RAM region.
+        assert_eq!(hw.entry(3).cfg, ram.cfg_value());
+        assert!(hw
+            .check(RAM + 0x400, 4, AccessType::Write, Privilege::Unprivileged)
+            .allowed());
+    }
+
+    #[test]
+    fn unset_slots_do_not_starve_relocation() {
+        // The allocator's region slice carries unset placeholder slots;
+        // a relocated *set* region must win a pair ahead of them (the
+        // kernel-run regression behind the campaign's bystander faults).
+        let drv = GranularPmpE310::with_fresh_hardware(PmpChip::SifiveE310);
+        let regions = [
+            PmpRegion::new(0, RAM, RAM + 0xC00, Permissions::ReadWriteOnly),
+            PmpRegion::unset(1),
+            PmpRegion::new(2, 0x2040_0000, 0x2040_1000, Permissions::ReadExecuteOnly),
+            PmpRegion::unset(3),
+        ];
+        drv.configure_mpu(&regions);
+        {
+            let hw = drv.hardware();
+            let mut hw = hw.borrow_mut();
+            let cfg = hw.entry(1).cfg;
+            hw.write_cfg(1, cfg | 0x80);
+        }
+        drv.configure_mpu(&regions);
+        assert!(drv.hardware_matches(&regions));
+        let hw = drv.hardware();
+        let hw = hw.borrow();
+        assert!(hw
+            .check(RAM, 4, AccessType::Read, Privilege::Unprivileged)
+            .allowed());
     }
 
     #[test]

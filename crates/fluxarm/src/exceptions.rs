@@ -19,6 +19,8 @@ pub const EXC_RETURN_THREAD_PSP: u32 = 0xFFFF_FFFD;
 /// Architecturally defined exception numbers used by Tock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExceptionNumber {
+    /// MemManage fault (MPU access violation): 4.
+    MemManage,
     /// Supervisor call (syscall entry): 11.
     SvCall,
     /// PendSV (context-switch request): 14.
@@ -33,6 +35,7 @@ impl ExceptionNumber {
     /// The IPSR value for the exception.
     pub const fn number(self) -> u32 {
         match self {
+            ExceptionNumber::MemManage => 4,
             ExceptionNumber::SvCall => 11,
             ExceptionNumber::PendSv => 14,
             ExceptionNumber::SysTick => 15,
@@ -210,6 +213,7 @@ mod tests {
 
     #[test]
     fn exception_numbers() {
+        assert_eq!(ExceptionNumber::MemManage.number(), 4);
         assert_eq!(ExceptionNumber::SvCall.number(), 11);
         assert_eq!(ExceptionNumber::PendSv.number(), 14);
         assert_eq!(ExceptionNumber::SysTick.number(), 15);

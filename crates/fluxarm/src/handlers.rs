@@ -7,7 +7,7 @@
 //! switch, leaving the CPU in the wrong privilege after a context switch.
 
 use crate::cpu::{Arm7, Gpr, SpecialRegister};
-use crate::exceptions::{EXC_RETURN_THREAD_MSP, EXC_RETURN_THREAD_PSP};
+use crate::exceptions::{ExceptionNumber, EXC_RETURN_THREAD_MSP, EXC_RETURN_THREAD_PSP};
 use crate::insns::IsbOpt;
 use tt_contracts::{ensures, requires};
 
@@ -94,6 +94,30 @@ pub fn svc_handler_to_kernel(cpu: &mut Arm7) -> u32 {
     let ret = cpu.get_value_from_special_reg(lr);
     ensures!("svc_handler_to_kernel", ret == EXC_RETURN_THREAD_MSP);
     ensures!("svc_handler_to_kernel", !cpu.control.npriv());
+    ret
+}
+
+/// The verified MemManage handler (PR 4's fault-recovery entry path).
+///
+/// Fires when an unprivileged access violates the MPU while a process
+/// runs. Like SysTick, it must hand control back to the **kernel** in
+/// privileged thread mode on MSP — the fault-recovery subsystem runs in
+/// the kernel, so resuming with the faulting process's privilege (or to
+/// its frame on PSP) would re-enter the very code that just faulted.
+pub fn mem_manage_handler(cpu: &mut Arm7) -> u32 {
+    requires!("mem_manage_handler", cpu.mode_is_handler());
+    requires!(
+        "mem_manage_handler",
+        cpu.ipsr() == ExceptionNumber::MemManage.number()
+    );
+    let lr = SpecialRegister::lr();
+    cpu.movw_imm(Gpr::R0, 0);
+    cpu.msr(SpecialRegister::Control, Gpr::R0);
+    cpu.isb(Some(IsbOpt::Sys));
+    cpu.pseudo_ldr_special(lr, EXC_RETURN_THREAD_MSP);
+    let ret = cpu.get_value_from_special_reg(lr);
+    ensures!("mem_manage_handler", ret == EXC_RETURN_THREAD_MSP);
+    ensures!("mem_manage_handler", !cpu.control.npriv());
     ret
 }
 
@@ -202,6 +226,33 @@ mod tests {
         let ret = svc_handler_to_kernel(&mut c);
         assert_eq!(ret, EXC_RETURN_THREAD_MSP);
         assert!(!c.control.npriv());
+    }
+
+    #[test]
+    fn mem_manage_returns_to_privileged_kernel() {
+        let mut c = Arm7::new(
+            AddrRange::new(0x2000_0000, 0x2000_1000),
+            AddrRange::new(0x2000_1000, 0x2000_3000),
+        );
+        // A process faults: unprivileged thread on PSP takes MemManage.
+        c.control = Control(0b11);
+        c.psp = 0x2000_2800;
+        c.exception_entry(ExceptionNumber::MemManage);
+        assert_eq!(c.ipsr(), 4);
+        let ret = mem_manage_handler(&mut c);
+        assert_eq!(ret, EXC_RETURN_THREAD_MSP);
+        assert!(!c.control.npriv(), "kernel resumes privileged");
+    }
+
+    #[test]
+    fn mem_manage_requires_its_own_vector() {
+        with_mode(Mode::Observe, || {
+            let mut c = preempted_cpu(); // IPSR = SysTick, not MemManage.
+            let _ = mem_manage_handler(&mut c);
+        });
+        assert!(take_violations()
+            .iter()
+            .any(|v| v.site == "mem_manage_handler"));
     }
 
     #[test]

@@ -263,6 +263,11 @@ impl CortexMpu {
     /// MPU_RNR — the write-through behaviour Tock's driver relies on.
     pub fn write_rbar(&mut self, value: u32) {
         crate::cycles::charge(crate::cycles::Cost::MmioWrite);
+        // Fault-injection point: a single-event upset flips the value on
+        // the bus, so the stored state, the trace and the VALID/REGION
+        // decode below all see the corrupted word.
+        let value =
+            crate::injection::mutate_reg_write(crate::injection::InjectionPoint::ArmRbar, value);
         if RegionBaseAddress::VALID.is_set(value) {
             self.rnr = RegionBaseAddress::REGION.read(value) as usize % NUM_REGIONS;
         }
@@ -277,6 +282,8 @@ impl CortexMpu {
     /// Writes MPU_RASR for the currently selected region.
     pub fn write_rasr(&mut self, value: u32) {
         crate::cycles::charge(crate::cycles::Cost::MmioWrite);
+        let value =
+            crate::injection::mutate_reg_write(crate::injection::InjectionPoint::ArmRasr, value);
         self.regions[self.rnr].rasr = value;
         self.write_order.push(self.rnr);
         crate::trace::record(crate::trace::TraceEvent::RegWrite {

@@ -1,0 +1,408 @@
+//! Deterministic, seeded fault injection ("isolation under fire").
+//!
+//! The differential oracle (PR 1) and the commit cache (PR 2) establish
+//! that the two kernels agree *in fair weather*. This module makes the
+//! weather: single-event upsets in the MPU/PMP register file (bit flips
+//! applied to the value as it reaches the hardware), forced memory-access
+//! faults, stack-overflow nudges, and corrupted syscall arguments.
+//!
+//! Everything is driven by an [`InjectionPlan`] derived from a 64-bit
+//! seed, and every hook is consulted at a *trace-visible* point: when an
+//! injection fires, a [`TraceEvent::FaultInjected`] event lands in the
+//! ring **before** the corrupted value does, so a campaign run replays
+//! exactly from `(seed, chip)` and any downstream divergence can be
+//! attributed to the injection that precedes it.
+//!
+//! The engine is thread-local, like [`crate::cycles`] and
+//! [`crate::trace`]: parallel campaign workers never interfere. An
+//! injection only fires when the kernel-maintained process context
+//! ([`crate::trace::current_pid`]) equals the plan's `target_pid` — the
+//! blast radius of a plan is exactly one victim process, which is what
+//! lets the campaign demand byte-identical observable traces from every
+//! *other* process.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{self, TraceEvent};
+
+/// Where an [`Injection`] fires. Each point corresponds to one hook the
+/// hardware model or the kernel consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InjectionPoint {
+    /// A Cortex-M `MPU_RBAR` write: the value is bit-flipped on its way
+    /// into the register file.
+    ArmRbar,
+    /// A Cortex-M `MPU_RASR` write, likewise.
+    ArmRasr,
+    /// A RISC-V `pmpcfg` byte write, likewise (flip confined to bits 0–7).
+    PmpCfg,
+    /// A checked user-mode memory access: the check is forced to deny,
+    /// modelling a spurious MemManage/PMP access fault.
+    UserAccess,
+    /// A system-call argument register, XOR-corrupted between the app and
+    /// the handler.
+    SyscallArg,
+    /// A context-switch-in: the kernel is told to model a stack push
+    /// below the process's memory block (stack-overflow nudge).
+    Stack,
+}
+
+/// All injection points, for plan generation and exhaustive tests.
+pub const ALL_POINTS: [InjectionPoint; 6] = [
+    InjectionPoint::ArmRbar,
+    InjectionPoint::ArmRasr,
+    InjectionPoint::PmpCfg,
+    InjectionPoint::UserAccess,
+    InjectionPoint::SyscallArg,
+    InjectionPoint::Stack,
+];
+
+/// What an [`Injection`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectionKind {
+    /// XOR the written register value with `1 << bit` (register points).
+    BitFlip {
+        /// Bit to flip (0–31 for RBAR/RASR, 0–7 for pmpcfg).
+        bit: u8,
+    },
+    /// Deny one checked user access ([`InjectionPoint::UserAccess`]).
+    ForceFault,
+    /// XOR one syscall argument with `xor` ([`InjectionPoint::SyscallArg`]).
+    CorruptArg {
+        /// Non-zero corruption mask.
+        xor: u32,
+    },
+    /// Model one stack push below the memory block ([`InjectionPoint::Stack`]).
+    StackNudge,
+}
+
+/// One scheduled fault: fire `kind` at the `at`-th time the target
+/// process reaches `point` (0-based, counted per point since [`arm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Which hook.
+    pub point: InjectionPoint,
+    /// Which occurrence of the hook (0 = the first one the target hits).
+    pub at: u32,
+    /// What to do there.
+    pub kind: InjectionKind,
+}
+
+/// A complete, replayable fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Seed the plan was derived from (kept for reporting).
+    pub seed: u64,
+    /// The victim process: injections fire only in its context.
+    pub target_pid: u32,
+    /// The scheduled faults (each fires at most once).
+    pub injections: Vec<Injection>,
+}
+
+impl InjectionPlan {
+    /// Derives a plan deterministically from `seed`: one to three
+    /// injections with bounded occurrence indices. The same `(seed,
+    /// target_pid)` always yields the same plan, which is what makes
+    /// campaign runs replayable.
+    pub fn from_seed(seed: u64, target_pid: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(1..=3usize);
+        let mut injections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let point = ALL_POINTS[rng.gen_range(0..ALL_POINTS.len())];
+            // Occurrence indices are kept small so most injections land
+            // within a run's horizon; plans whose faults never trigger
+            // still participate as pure determinism checks.
+            let at = rng.gen_range(0..24u32);
+            let kind = match point {
+                InjectionPoint::ArmRbar | InjectionPoint::ArmRasr => InjectionKind::BitFlip {
+                    bit: rng.gen_range(0..32u8),
+                },
+                InjectionPoint::PmpCfg => InjectionKind::BitFlip {
+                    bit: rng.gen_range(0..8u8),
+                },
+                InjectionPoint::UserAccess => InjectionKind::ForceFault,
+                InjectionPoint::SyscallArg => InjectionKind::CorruptArg {
+                    xor: (rng.gen::<u32>() | 1).rotate_left(rng.gen_range(0..32u32)),
+                },
+                InjectionPoint::Stack => InjectionKind::StackNudge,
+            };
+            injections.push(Injection { point, at, kind });
+        }
+        Self {
+            seed,
+            target_pid,
+            injections,
+        }
+    }
+}
+
+struct Engine {
+    plan: InjectionPlan,
+    /// Occurrences of each point seen in target context, indexed in
+    /// [`ALL_POINTS`] order.
+    seen: [u32; ALL_POINTS.len()],
+    /// One-shot flags, parallel to `plan.injections`.
+    fired: Vec<bool>,
+    fired_count: u64,
+}
+
+thread_local! {
+    static ENGINE: RefCell<Option<Engine>> = const { RefCell::new(None) };
+}
+
+fn point_index(point: InjectionPoint) -> usize {
+    ALL_POINTS
+        .iter()
+        .position(|p| *p == point)
+        .expect("known point")
+}
+
+/// Arms the engine with a plan. Occurrence counters and one-shot flags
+/// start fresh; any previously armed plan is discarded.
+pub fn arm(plan: InjectionPlan) {
+    ENGINE.with(|e| {
+        let fired = vec![false; plan.injections.len()];
+        *e.borrow_mut() = Some(Engine {
+            plan,
+            seen: [0; ALL_POINTS.len()],
+            fired,
+            fired_count: 0,
+        });
+    });
+}
+
+/// Disarms the engine, returning how many injections fired since [`arm`].
+pub fn disarm() -> u64 {
+    ENGINE.with(|e| e.borrow_mut().take().map_or(0, |eng| eng.fired_count))
+}
+
+/// Returns `true` if a plan is armed on this thread.
+pub fn is_armed() -> bool {
+    ENGINE.with(|e| e.borrow().is_some())
+}
+
+/// Number of injections fired since the last [`arm`] (0 when disarmed).
+pub fn fired_count() -> u64 {
+    ENGINE.with(|e| e.borrow().as_ref().map_or(0, |eng| eng.fired_count))
+}
+
+/// Core hook: bumps the occurrence counter for `point` (in target
+/// context only) and returns the kind of the injection that fires there,
+/// if any. Records the [`TraceEvent::FaultInjected`] event.
+fn fire(point: InjectionPoint) -> Option<InjectionKind> {
+    ENGINE.with(|e| {
+        let mut slot = e.borrow_mut();
+        let eng = slot.as_mut()?;
+        if trace::current_pid() != eng.plan.target_pid {
+            return None;
+        }
+        let idx = point_index(point);
+        let occurrence = eng.seen[idx];
+        eng.seen[idx] = occurrence.wrapping_add(1);
+        let hit = eng
+            .plan
+            .injections
+            .iter()
+            .enumerate()
+            .find(|(i, inj)| !eng.fired[*i] && inj.point == point && inj.at == occurrence)
+            .map(|(i, inj)| (i, *inj));
+        let (i, inj) = hit?;
+        eng.fired[i] = true;
+        eng.fired_count += 1;
+        let info = match inj.kind {
+            InjectionKind::BitFlip { bit } => bit as u32,
+            InjectionKind::CorruptArg { xor } => xor,
+            InjectionKind::ForceFault | InjectionKind::StackNudge => 0,
+        };
+        trace::record(TraceEvent::FaultInjected {
+            pid: eng.plan.target_pid,
+            point,
+            info,
+        });
+        Some(inj.kind)
+    })
+}
+
+/// Register-write hook: called by the Cortex-M MPU (`RBAR`/`RASR`) and
+/// RISC-V PMP (`pmpcfg`) register files with the value about to be
+/// stored. Returns the (possibly bit-flipped) value that actually lands
+/// in hardware — the `RegWrite` trace event and all readback paths see
+/// the corrupted value, exactly like a real single-event upset.
+#[inline]
+pub fn mutate_reg_write(point: InjectionPoint, value: u32) -> u32 {
+    match fire(point) {
+        Some(InjectionKind::BitFlip { bit }) => value ^ (1u32 << (bit & 31)),
+        _ => value,
+    }
+}
+
+/// User-access hook: returns `true` when a checked user-mode access must
+/// be forced to fault (spurious MemManage/PMP access fault).
+#[inline]
+pub fn force_user_fault() -> bool {
+    matches!(
+        fire(InjectionPoint::UserAccess),
+        Some(InjectionKind::ForceFault)
+    )
+}
+
+/// Syscall-argument hook: returns the (possibly corrupted) argument.
+#[inline]
+pub fn corrupt_syscall_arg(value: u32) -> u32 {
+    match fire(InjectionPoint::SyscallArg) {
+        Some(InjectionKind::CorruptArg { xor }) => value ^ xor,
+        _ => value,
+    }
+}
+
+/// Context-switch hook: returns `true` when the kernel should model a
+/// stack push below the process's memory block this switch-in.
+#[inline]
+pub fn stack_nudge() -> bool {
+    matches!(fire(InjectionPoint::Stack), Some(InjectionKind::StackNudge))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{self, NO_PID};
+
+    fn plan(target: u32, injections: Vec<Injection>) -> InjectionPlan {
+        InjectionPlan {
+            seed: 0,
+            target_pid: target,
+            injections,
+        }
+    }
+
+    #[test]
+    fn disarmed_hooks_are_identity() {
+        assert!(!is_armed());
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRbar, 0x1234), 0x1234);
+        assert!(!force_user_fault());
+        assert_eq!(corrupt_syscall_arg(7), 7);
+        assert!(!stack_nudge());
+        assert_eq!(fired_count(), 0);
+    }
+
+    #[test]
+    fn bit_flip_fires_once_at_the_scheduled_occurrence() {
+        trace::set_current_pid(3);
+        arm(plan(
+            3,
+            vec![Injection {
+                point: InjectionPoint::ArmRasr,
+                at: 2,
+                kind: InjectionKind::BitFlip { bit: 4 },
+            }],
+        ));
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 0); // occurrence 0
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 0); // occurrence 1
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 1 << 4); // fires
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 0); // one-shot
+        assert_eq!(disarm(), 1);
+        trace::set_current_pid(NO_PID);
+    }
+
+    #[test]
+    fn non_target_context_never_fires_and_does_not_consume_occurrences() {
+        trace::set_current_pid(1);
+        arm(plan(
+            2,
+            vec![Injection {
+                point: InjectionPoint::UserAccess,
+                at: 0,
+                kind: InjectionKind::ForceFault,
+            }],
+        ));
+        assert!(!force_user_fault()); // pid 1: not the target
+        trace::set_current_pid(2);
+        assert!(force_user_fault()); // occurrence 0 in target context
+        assert_eq!(disarm(), 1);
+        trace::set_current_pid(NO_PID);
+    }
+
+    #[test]
+    fn fired_injection_records_a_trace_event() {
+        trace::enable(16);
+        trace::set_current_pid(5);
+        arm(plan(
+            5,
+            vec![Injection {
+                point: InjectionPoint::SyscallArg,
+                at: 0,
+                kind: InjectionKind::CorruptArg { xor: 0xFF },
+            }],
+        ));
+        assert_eq!(corrupt_syscall_arg(0x0F), 0xF0);
+        let t = trace::take();
+        assert_eq!(
+            t.events,
+            vec![TraceEvent::FaultInjected {
+                pid: 5,
+                point: InjectionPoint::SyscallArg,
+                info: 0xFF,
+            }]
+        );
+        disarm();
+        trace::set_current_pid(NO_PID);
+        trace::disable();
+    }
+
+    #[test]
+    fn plans_replay_exactly_and_vary_across_seeds() {
+        for seed in 0..64u64 {
+            let a = InjectionPlan::from_seed(seed, 0);
+            let b = InjectionPlan::from_seed(seed, 0);
+            assert_eq!(a, b, "seed {seed} must replay");
+            assert!((1..=3).contains(&a.injections.len()));
+            for inj in &a.injections {
+                assert!(inj.at < 24);
+                match (inj.point, inj.kind) {
+                    (InjectionPoint::ArmRbar | InjectionPoint::ArmRasr, k) => {
+                        assert!(matches!(k, InjectionKind::BitFlip { bit } if bit < 32));
+                    }
+                    (InjectionPoint::PmpCfg, k) => {
+                        assert!(matches!(k, InjectionKind::BitFlip { bit } if bit < 8));
+                    }
+                    (InjectionPoint::UserAccess, k) => {
+                        assert_eq!(k, InjectionKind::ForceFault);
+                    }
+                    (InjectionPoint::SyscallArg, k) => {
+                        assert!(matches!(k, InjectionKind::CorruptArg { xor } if xor != 0));
+                    }
+                    (InjectionPoint::Stack, k) => {
+                        assert_eq!(k, InjectionKind::StackNudge);
+                    }
+                }
+            }
+        }
+        assert_ne!(
+            InjectionPlan::from_seed(1, 0).injections,
+            InjectionPlan::from_seed(2, 0).injections,
+        );
+    }
+
+    #[test]
+    fn stack_nudge_point_is_independent_of_register_points() {
+        trace::set_current_pid(0);
+        arm(plan(
+            0,
+            vec![Injection {
+                point: InjectionPoint::Stack,
+                at: 1,
+                kind: InjectionKind::StackNudge,
+            }],
+        ));
+        // Register occurrences must not advance the Stack counter.
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRbar, 9), 9);
+        assert!(!stack_nudge()); // Stack occurrence 0
+        assert!(stack_nudge()); // Stack occurrence 1: fires
+        assert_eq!(disarm(), 1);
+        trace::set_current_pid(NO_PID);
+    }
+}

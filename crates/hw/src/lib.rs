@@ -17,6 +17,7 @@ pub mod addr;
 pub mod commit_cache;
 pub mod cortexm;
 pub mod cycles;
+pub mod injection;
 pub mod mem;
 pub mod obligations;
 pub mod perms;

@@ -172,6 +172,12 @@ impl RiscvPmp {
     /// hardware.
     pub fn write_cfg(&mut self, index: usize, cfg: u8) {
         crate::cycles::charge(crate::cycles::Cost::MmioWrite);
+        // Fault-injection point: the flip lands before lock/NA4 handling,
+        // as a corrupted CSR write would.
+        let cfg = crate::injection::mutate_reg_write(
+            crate::injection::InjectionPoint::PmpCfg,
+            cfg as u32,
+        ) as u8;
         if index < self.entries.len() && !self.entries[index].locked() {
             let mut cfg = cfg;
             // G > 4 chips: NA4 is reserved; hardware reads it back as OFF.

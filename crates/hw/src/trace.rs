@@ -74,6 +74,27 @@ pub enum SwitchDir {
 /// writes during kernel boot).
 pub const NO_PID: u32 = u32::MAX;
 
+/// One step of the kernel's fault-recovery protocol, carried by
+/// [`TraceEvent::Recovery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecoveryStep {
+    /// The faulted process's grant allocations were reclaimed (kernel
+    /// break raised back to the top of the memory block).
+    GrantsReclaimed,
+    /// The faulted process's `AppBreaks`/region state was scrubbed and
+    /// re-derived, and its invariants re-checked.
+    StateRederived,
+    /// A restart was scheduled `delay` ticks in the future under the
+    /// exponential-backoff policy.
+    BackoffScheduled {
+        /// Backoff delay in scheduler ticks.
+        delay: u64,
+    },
+    /// The restart cap was exhausted; the process is being permanently
+    /// killed.
+    RestartExhausted,
+}
+
 /// One observable step of a kernel run.
 ///
 /// Events are `Copy` and fixed-size so the ring buffer never allocates
@@ -166,6 +187,32 @@ pub enum TraceEvent {
     ProcessFault {
         /// Faulted process.
         pid: u32,
+    },
+    /// A process was permanently killed by the fault-recovery policy
+    /// (either [`crate::injection`]-driven or a restart-cap exhaustion).
+    ProcessKill {
+        /// Killed process.
+        pid: u32,
+    },
+    /// One step of the kernel's fault-recovery protocol completed.
+    Recovery {
+        /// Recovering process.
+        pid: u32,
+        /// What the step did.
+        step: RecoveryStep,
+    },
+    /// The fault-injection engine fired one scheduled injection
+    /// ([`crate::injection`]). Recorded at the exact point the fault is
+    /// introduced, so a campaign divergence can be attributed to the
+    /// injection that precedes it.
+    FaultInjected {
+        /// Process context the injection fired in (the plan's target).
+        pid: u32,
+        /// Where the fault was introduced.
+        point: crate::injection::InjectionPoint,
+        /// Point-specific detail: the flipped bit for register flips, the
+        /// XOR mask for argument corruption, 0 otherwise.
+        info: u32,
     },
 }
 

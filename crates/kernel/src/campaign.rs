@@ -1,0 +1,500 @@
+//! The §6-style fault-injection campaign: isolation under fire.
+//!
+//! One campaign run boots a three-process TickTock kernel, arms a seeded
+//! [`InjectionPlan`] against the *victim* (pid 0), and runs to
+//! completion under the [`FaultPolicy::RestartWithBackoff`] recovery
+//! policy. The two *bystander* processes never see an injection; the
+//! oracle is that their [`TraceScope::Observable`] event streams are
+//! **byte-identical** to an uninjected reference run of the same chip —
+//! faults stay contained to the process they were injected into, no
+//! matter what the fault corrupted.
+//!
+//! Every run also checks that no contract site was violated (the runs
+//! execute under [`Mode::Observe`] so violations are collected, not
+//! panicked), and that recovery converged: bystanders exit, the victim
+//! ends [`ProcessState::Exited`] or — restart cap exhausted —
+//! [`ProcessState::Killed`], never a livelock.
+
+use crate::capsules::driver;
+use crate::kernel::{App, AppFactory, FaultPolicy, Kernel, Step};
+use crate::loader::flash_app;
+use crate::process::{Flavor, ProcessState};
+use crate::trace::{normalize, normalize_for_pid, render_event, Trace, TraceEvent, TraceScope};
+use tt_contracts::{take_violations, with_mode, Mode};
+use tt_hw::injection::{self, InjectionPlan};
+use tt_hw::platform::{ChipProfile, ALL_CHIPS};
+use tt_hw::trace;
+
+/// Pid the injection plans target.
+pub const VICTIM: usize = 0;
+/// Number of bystander processes riding along.
+pub const BYSTANDERS: usize = 2;
+
+const TRACE_CAPACITY: usize = 65_536;
+const MAX_TICKS: u64 = 400;
+const MAX_RESTARTS: u32 = 5;
+const BASE_DELAY: u64 = 2;
+const MAX_DELAY: u64 = 16;
+
+// ---------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------
+
+/// The victim: a syscall-rich workload that exercises every injection
+/// point — register commits (brk/sbrk re-stage regions), syscall
+/// arguments, user-mode accesses, grant allocation.
+struct Victim {
+    step_no: u32,
+}
+
+impl App for Victim {
+    fn name(&self) -> &'static str {
+        "victim"
+    }
+    fn step(&mut self, k: &mut Kernel, pid: usize) -> Step {
+        let ms = k.processes[pid].memory_start();
+        let i = self.step_no;
+        self.step_no += 1;
+        match i % 8 {
+            0 => {
+                let _ = k.sys_print(pid, "v\r\n");
+            }
+            1 => {
+                let _ = k.sys_sbrk(pid, 64);
+            }
+            2 => {
+                let _ = k.user_write_u32(pid, ms + 128, i);
+            }
+            3 => {
+                let _ = k.sys_memop(pid, 1);
+            }
+            4 => {
+                let _ = k.sys_allow_rw(pid, ms + 256, 16);
+            }
+            5 => {
+                let _ = k.sys_command(pid, driver::ALARM, 1, 50);
+            }
+            6 => {
+                let _ = k.user_read_u32(pid, ms + 128);
+            }
+            _ => {
+                let _ = k.sys_sbrk(pid, -64);
+            }
+        }
+        if self.step_no >= 64 {
+            Step::Exit
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+/// A bystander: deterministic work that never touches cycle-dependent
+/// capsules (sensor/ADC) or alarms, so its observable trace depends only
+/// on its own behaviour.
+struct Bystander {
+    id: u32,
+    step_no: u32,
+}
+
+impl App for Bystander {
+    fn name(&self) -> &'static str {
+        "bystander"
+    }
+    fn step(&mut self, k: &mut Kernel, pid: usize) -> Step {
+        let ms = k.processes[pid].memory_start();
+        let i = self.step_no;
+        self.step_no += 1;
+        match i % 4 {
+            0 => {
+                let _ = k.sys_print(pid, "b\r\n");
+            }
+            1 => {
+                let _ = k.user_write_u32(pid, ms + 512 + 4 * (i as usize % 8), i ^ self.id);
+            }
+            2 => {
+                let _ = k.sys_command(pid, driver::LED, 0, self.id);
+            }
+            _ => {
+                let _ = k.user_read_u32(pid, ms + 512);
+            }
+        }
+        if self.step_no >= 32 {
+            Step::Exit
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+fn mk_victim() -> Box<dyn App> {
+    Box::new(Victim { step_no: 0 })
+}
+fn mk_bystander_1() -> Box<dyn App> {
+    Box::new(Bystander { id: 1, step_no: 0 })
+}
+fn mk_bystander_2() -> Box<dyn App> {
+    Box::new(Bystander { id: 2, step_no: 0 })
+}
+
+// ---------------------------------------------------------------------
+// One run.
+// ---------------------------------------------------------------------
+
+/// Outcome of one campaign run (injected or reference).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The seed, or `None` for the uninjected reference run.
+    pub seed: Option<u64>,
+    /// Number of injections that actually fired.
+    pub fired: u64,
+    /// Contract violations observed during the run (rendered).
+    pub violations: Vec<String>,
+    /// Terminal state per pid.
+    pub states: Vec<ProcessState>,
+    /// Victim restart count.
+    pub restarts: u32,
+    /// Victim recovery count.
+    pub recoveries: u32,
+    /// Cycles the kernel spent recovering the victim.
+    pub recovery_cycles: u64,
+    /// The full event trace.
+    pub trace: Trace,
+}
+
+/// Executes one three-process run on `chip`, with the injection plan for
+/// `seed` armed against the victim (or no plan for the reference run).
+pub fn run_one(chip: &ChipProfile, seed: Option<u64>) -> RunRecord {
+    tt_hw::cycles::reset();
+    trace::enable(TRACE_CAPACITY);
+    if let Some(s) = seed {
+        injection::arm(InjectionPlan::from_seed(s, VICTIM as u32));
+    }
+    let kernel = with_mode(Mode::Observe, || {
+        let mut k = Kernel::boot(Flavor::Granular, chip);
+        k.fault_policy = FaultPolicy::RestartWithBackoff {
+            max_restarts: MAX_RESTARTS,
+            base_delay: BASE_DELAY,
+            max_delay: MAX_DELAY,
+        };
+        k.mpu_scrub = true;
+        let base = chip.map.flash.start + 0x4_0000;
+        for (slot, name) in [(0usize, "victim"), (1, "bys1"), (2, "bys2")] {
+            let img = flash_app(&mut k.mem, base + slot * 0x1000, name, 0x1000, 3000, 1024)
+                .expect("flash image");
+            k.load_process(&img).expect("load process");
+        }
+        let mut apps: Vec<Box<dyn App>> = vec![mk_victim(), mk_bystander_1(), mk_bystander_2()];
+        let factories: [AppFactory; 3] = [mk_victim, mk_bystander_1, mk_bystander_2];
+        k.run_with_factories(&mut apps, Some(&factories), MAX_TICKS);
+        k
+    });
+    let fired = if seed.is_some() {
+        injection::disarm()
+    } else {
+        0
+    };
+    let violations = take_violations().iter().map(|v| format!("{v:?}")).collect();
+    let trace = trace::take();
+    trace::disable();
+    RunRecord {
+        seed,
+        fired,
+        violations,
+        states: kernel.processes.iter().map(|p| p.state.clone()).collect(),
+        restarts: kernel.restarts[VICTIM],
+        recoveries: kernel.recoveries[VICTIM],
+        recovery_cycles: kernel.recovery_cycles[VICTIM],
+        trace,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The per-chip campaign.
+// ---------------------------------------------------------------------
+
+/// Aggregated campaign result for one chip.
+#[derive(Debug, Clone)]
+pub struct ChipReport {
+    /// Chip name.
+    pub chip: &'static str,
+    /// Seeded injection runs executed (warm; the cold pass doubles this).
+    pub runs: u64,
+    /// Injections that fired across all runs.
+    pub fired: u64,
+    /// Failed oracle checks, rendered for the report. Empty on success.
+    pub failures: Vec<String>,
+    /// Victim recoveries across all warm runs.
+    pub recoveries: u64,
+    /// Victim restarts across all warm runs.
+    pub restarts: u64,
+    /// Runs that ended with the victim permanently killed.
+    pub killed: u64,
+    /// Total victim recovery cycles, commit cache enabled.
+    pub warm_cycles: u64,
+    /// Victim recoveries in the warm pass (divisor for the mean).
+    pub warm_recoveries: u64,
+    /// Total victim recovery cycles with the commit cache disabled.
+    pub cold_cycles: u64,
+    /// Victim recoveries in the cold pass.
+    pub cold_recoveries: u64,
+}
+
+impl ChipReport {
+    /// Mean recovery latency in cycles, commit cache enabled.
+    pub fn warm_mean(&self) -> f64 {
+        self.warm_cycles as f64 / (self.warm_recoveries.max(1)) as f64
+    }
+    /// Mean recovery latency in cycles, commit cache disabled.
+    pub fn cold_mean(&self) -> f64 {
+        self.cold_cycles as f64 / (self.cold_recoveries.max(1)) as f64
+    }
+}
+
+fn first_injected_event(trace: &Trace) -> String {
+    trace
+        .events
+        .iter()
+        .find(|e| matches!(e, TraceEvent::FaultInjected { .. }))
+        .map(render_event)
+        .unwrap_or_else(|| "<no injection fired>".into())
+}
+
+/// Checks one injected run against the reference. Appends rendered
+/// failures (empty = run passed).
+fn validate_run(
+    chip: &ChipProfile,
+    run: &RunRecord,
+    reference_by_pid: &[Vec<TraceEvent>],
+    reference_full: &[TraceEvent],
+    failures: &mut Vec<String>,
+) {
+    let seed = run.seed.unwrap_or(0);
+    let tag = |what: &str| format!("{} seed {seed}: {what}", chip.name);
+    // 1. Contract sites all held, at every step of recovery.
+    for v in &run.violations {
+        failures.push(tag(&format!("contract violation: {v}")));
+    }
+    // 2. Bystander isolation: observable traces byte-identical to the
+    //    uninjected reference.
+    for (b, reference) in reference_by_pid.iter().enumerate() {
+        let pid = (VICTIM + 1 + b) as u32;
+        let got = normalize_for_pid(&run.trace.events, TraceScope::Observable, pid);
+        if got != *reference {
+            let at = got
+                .iter()
+                .zip(reference.iter())
+                .position(|(g, r)| g != r)
+                .unwrap_or_else(|| got.len().min(reference.len()));
+            let render = |events: &[TraceEvent], i: usize| {
+                events
+                    .get(i)
+                    .map(render_event)
+                    .unwrap_or_else(|| "<end of trace>".into())
+            };
+            failures.push(tag(&format!(
+                "bystander pid{pid} trace diverged at event #{at}: reference `{}` vs injected \
+                 `{}`; first injected fault: {}",
+                render(reference, at),
+                render(&got, at),
+                first_injected_event(&run.trace),
+            )));
+        }
+    }
+    // 3. Convergence: bystanders ran to completion, the victim either
+    //    finished or was permanently killed within the restart cap.
+    for b in 0..BYSTANDERS {
+        let pid = VICTIM + 1 + b;
+        if run.states[pid] != ProcessState::Exited {
+            failures.push(tag(&format!(
+                "bystander pid{pid} did not exit: {:?}",
+                run.states[pid]
+            )));
+        }
+    }
+    if !matches!(
+        run.states[VICTIM],
+        ProcessState::Exited | ProcessState::Killed
+    ) {
+        failures.push(tag(&format!(
+            "victim did not converge: {:?} after {} restarts",
+            run.states[VICTIM], run.restarts
+        )));
+    }
+    if run.restarts > MAX_RESTARTS {
+        failures.push(tag(&format!("restart cap exceeded: {}", run.restarts)));
+    }
+    // 4. A plan whose injections never fired must replay the reference
+    //    exactly — the engine itself is observable-trace-neutral.
+    if run.fired == 0 {
+        let got = normalize(&run.trace.events, TraceScope::Observable);
+        if got != reference_full {
+            failures.push(tag("zero-fired run diverged from the reference"));
+        }
+    }
+}
+
+/// Runs `seeds` injection runs (plus one reference and a cold-cache
+/// pass) against one chip.
+pub fn run_chip_campaign(chip: &ChipProfile, seeds: u64) -> ChipReport {
+    let mut report = ChipReport {
+        chip: chip.name,
+        runs: 0,
+        fired: 0,
+        failures: Vec::new(),
+        recoveries: 0,
+        restarts: 0,
+        killed: 0,
+        warm_cycles: 0,
+        warm_recoveries: 0,
+        cold_cycles: 0,
+        cold_recoveries: 0,
+    };
+    let reference = run_one(chip, None);
+    for v in &reference.violations {
+        report
+            .failures
+            .push(format!("{} reference: contract violation: {v}", chip.name));
+    }
+    if reference.states.iter().any(|s| *s != ProcessState::Exited) {
+        report.failures.push(format!(
+            "{} reference: processes did not all exit: {:?}",
+            chip.name, reference.states
+        ));
+    }
+    let reference_by_pid: Vec<Vec<TraceEvent>> = (0..BYSTANDERS)
+        .map(|b| {
+            normalize_for_pid(
+                &reference.trace.events,
+                TraceScope::Observable,
+                (VICTIM + 1 + b) as u32,
+            )
+        })
+        .collect();
+    let reference_full = normalize(&reference.trace.events, TraceScope::Observable);
+    for seed in 0..seeds {
+        // Warm pass: commit cache enabled (the production configuration).
+        let run = run_one(chip, Some(seed));
+        validate_run(
+            chip,
+            &run,
+            &reference_by_pid,
+            &reference_full,
+            &mut report.failures,
+        );
+        report.runs += 1;
+        report.fired += run.fired;
+        report.recoveries += u64::from(run.recoveries);
+        report.restarts += u64::from(run.restarts);
+        report.killed += u64::from(run.states[VICTIM] == ProcessState::Killed);
+        report.warm_cycles += run.recovery_cycles;
+        report.warm_recoveries += u64::from(run.recoveries);
+        // Cold pass: same seed with the commit cache disabled. Observable
+        // traces are cache-independent, so the same oracle applies.
+        let cold = tt_hw::commit_cache::with_disabled(|| run_one(chip, Some(seed)));
+        validate_run(
+            chip,
+            &cold,
+            &reference_by_pid,
+            &reference_full,
+            &mut report.failures,
+        );
+        report.cold_cycles += cold.recovery_cycles;
+        report.cold_recoveries += u64::from(cold.recoveries);
+    }
+    report
+}
+
+/// Runs the campaign on all seven chips, fanned over worker threads
+/// (every sink the runs touch is thread-local, so parallel results are
+/// bit-identical to serial ones).
+pub fn run_campaign(seeds: u64) -> Vec<ChipReport> {
+    let chips = &ALL_CHIPS;
+    let mut slots: Vec<Option<ChipReport>> = (0..chips.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, chip) in slots.iter_mut().zip(chips.iter()) {
+            scope.spawn(move || *slot = Some(run_chip_campaign(chip, seeds)));
+        }
+    });
+    slots.into_iter().map(|s| s.expect("chip report")).collect()
+}
+
+/// Renders the campaign table plus any failures.
+pub fn render_report(reports: &[ChipReport], seeds: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fault campaign: {} seeds x {} chips (warm+cold) = {} injected runs\n",
+        seeds,
+        reports.len(),
+        reports.iter().map(|r| r.runs * 2).sum::<u64>(),
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>6} {:>9} {:>8} {:>7} {:>12} {:>12}\n",
+        "chip", "runs", "fired", "recovers", "restarts", "killed", "warm cyc", "cold cyc"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>6} {:>9} {:>8} {:>7} {:>12.0} {:>12.0}\n",
+            r.chip,
+            r.runs * 2,
+            r.fired,
+            r.recoveries,
+            r.restarts,
+            r.killed,
+            r.warm_mean(),
+            r.cold_mean(),
+        ));
+    }
+    let failures: Vec<&String> = reports.iter().flat_map(|r| &r.failures).collect();
+    if failures.is_empty() {
+        out.push_str("all runs: bystander traces identical, zero violations, converged\n");
+    } else {
+        out.push_str(&format!("{} FAILURES:\n", failures.len()));
+        for f in failures {
+            out.push_str(&format!("  {f}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::platform::{HIFIVE1, NRF52840DK};
+
+    #[test]
+    fn reference_run_is_clean_and_deterministic() {
+        let a = run_one(&NRF52840DK, None);
+        let b = run_one(&NRF52840DK, None);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(a.states.iter().all(|s| *s == ProcessState::Exited));
+        assert_eq!(a.fired, 0);
+        assert_eq!(
+            normalize(&a.trace.events, TraceScope::Observable),
+            normalize(&b.trace.events, TraceScope::Observable),
+        );
+    }
+
+    #[test]
+    fn arm_campaign_smoke_holds_the_oracle() {
+        let report = run_chip_campaign(&NRF52840DK, 4);
+        assert_eq!(report.runs, 4);
+        assert!(report.failures.is_empty(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn pmp_campaign_smoke_holds_the_oracle() {
+        let report = run_chip_campaign(&HIFIVE1, 3);
+        assert!(report.failures.is_empty(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn injected_runs_do_fire_against_the_victim() {
+        // Across a handful of seeds at least one plan must actually fire
+        // on each architecture — otherwise the campaign tests nothing.
+        let fired: u64 = (0..6).map(|s| run_one(&NRF52840DK, Some(s)).fired).sum();
+        assert!(fired > 0, "no ARM injection fired in 6 seeds");
+        let fired: u64 = (0..6).map(|s| run_one(&HIFIVE1, Some(s)).fired).sum();
+        assert!(fired > 0, "no PMP injection fired in 6 seeds");
+    }
+}

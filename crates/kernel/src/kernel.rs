@@ -16,7 +16,7 @@ use crate::process::{Flavor, Process, ProcessError, ProcessState};
 use tt_hw::cycles::{charge, Cost};
 use tt_hw::mem::{AccessType, BusFault, PhysicalMemory, Privilege};
 use tt_hw::platform::ChipProfile;
-use tt_hw::trace::{self, SwitchDir, SyscallKind, TraceEvent};
+use tt_hw::trace::{self, RecoveryStep, SwitchDir, SyscallKind, TraceEvent};
 use tt_hw::PtrU8;
 
 /// Result of one application step.
@@ -81,6 +81,21 @@ pub enum FaultPolicy {
         /// Maximum restarts before giving up.
         max_restarts: u32,
     },
+    /// Reclaim the process's kernel-held resources and kill it
+    /// permanently on the first fault.
+    Kill,
+    /// Full recovery: reclaim grants, scrub and re-derive the staged
+    /// protection state, then restart after an exponentially growing
+    /// delay; after `max_restarts` restarts the process is killed for
+    /// good (so recovery always converges — no restart livelock).
+    RestartWithBackoff {
+        /// Restarts allowed before the process is permanently killed.
+        max_restarts: u32,
+        /// Backoff before the first restart, in ticks (must be ≥ 1).
+        base_delay: u64,
+        /// Upper bound the doubling backoff saturates at.
+        max_delay: u64,
+    },
 }
 
 /// The kernel.
@@ -108,6 +123,21 @@ pub struct Kernel {
     pub fault_policy: FaultPolicy,
     /// Restart counts per pid.
     pub restarts: Vec<u32>,
+    /// Number of fault recoveries performed per pid.
+    pub recoveries: Vec<u32>,
+    /// Cycles spent in fault recovery (scrub + re-derive + restart) per
+    /// pid — the campaign's recovery-latency metric.
+    pub recovery_cycles: Vec<u64>,
+    /// When `true`, the scheduler verifies at every switch-out that the
+    /// register file still matches the outgoing process's staged
+    /// configuration, faulting the process on divergence. This turns
+    /// silent permission-widening register corruption into an ordinary
+    /// recoverable fault. Off by default (the check never fires without
+    /// fault injection, but the knob keeps the baseline scheduler loop
+    /// byte-identical to PR 3).
+    pub mpu_scrub: bool,
+    /// Tick at which a faulted process's backoff restart is due, per pid.
+    restart_due: Vec<Option<u64>>,
     /// Pending upcall per pid.
     upcalls: Vec<Option<Upcall>>,
     /// Driver subscriptions per pid.
@@ -142,6 +172,10 @@ impl Kernel {
             ipc_services: Vec::new(),
             fault_policy: FaultPolicy::Stop,
             restarts: Vec::new(),
+            recoveries: Vec::new(),
+            recovery_cycles: Vec::new(),
+            mpu_scrub: false,
+            restart_due: Vec::new(),
             upcalls: Vec::new(),
             subscriptions: Vec::new(),
             ram_cursor: chip.map.ram.start,
@@ -166,6 +200,9 @@ impl Kernel {
         self.upcalls.push(None);
         self.subscriptions.push(Vec::new());
         self.restarts.push(0);
+        self.recoveries.push(0);
+        self.recovery_cycles.push(0);
+        self.restart_due.push(None);
         trace::record(TraceEvent::ProcessLoad { pid: pid as u32 });
         Ok(pid)
     }
@@ -193,6 +230,7 @@ impl Kernel {
         self.upcalls[pid] = None;
         self.subscriptions[pid].clear();
         self.restarts[pid] += 1;
+        self.restart_due[pid] = None;
         trace::record(TraceEvent::ProcessRestart { pid: pid as u32 });
         Ok(())
     }
@@ -200,6 +238,15 @@ impl Kernel {
     // ---- User-mode memory access (MPU-checked) ------------------------
 
     fn user_check(&self, addr: usize, size: usize, access: AccessType) -> Result<(), BusFault> {
+        // An armed UserAccess injection forces a denial the hardware
+        // would not have produced (a glitched bus transaction).
+        if tt_hw::injection::force_user_fault() {
+            return Err(BusFault {
+                addr,
+                access,
+                kind: tt_hw::mem::FaultKind::PermissionDenied,
+            });
+        }
         match self
             .machine
             .check(addr, size, access, Privilege::Unprivileged)
@@ -287,6 +334,9 @@ impl Kernel {
     /// both kernels pay equally.
     pub fn sys_brk(&mut self, pid: usize, new_break: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception); // SVC entry.
+                                 // An armed SyscallArg injection corrupts the argument register at
+                                 // SVC entry; the handler must validate its way out of it.
+        let new_break = tt_hw::injection::corrupt_syscall_arg(new_break as u32) as usize;
         trace::record(TraceEvent::SyscallEnter {
             pid: pid as u32,
             call: SyscallKind::Brk,
@@ -315,6 +365,7 @@ impl Kernel {
     /// `sbrk`: adjust the app break by a delta; returns the new break.
     pub fn sys_sbrk(&mut self, pid: usize, delta: isize) -> Result<usize, ErrorCode> {
         charge(Cost::Exception);
+        let delta = tt_hw::injection::corrupt_syscall_arg(delta as i32 as u32) as i32 as isize;
         trace::record(TraceEvent::SyscallEnter {
             pid: pid as u32,
             call: SyscallKind::Sbrk,
@@ -426,6 +477,7 @@ impl Kernel {
     /// `allow_readonly`: share a read-only buffer with a driver.
     pub fn sys_allow_ro(&mut self, pid: usize, addr: usize, len: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception);
+        let addr = tt_hw::injection::corrupt_syscall_arg(addr as u32) as usize;
         trace::record(TraceEvent::SyscallEnter {
             pid: pid as u32,
             call: SyscallKind::AllowRo,
@@ -449,6 +501,7 @@ impl Kernel {
     /// `allow_readwrite`: share a writable buffer with a driver.
     pub fn sys_allow_rw(&mut self, pid: usize, addr: usize, len: usize) -> Result<(), ErrorCode> {
         charge(Cost::Exception);
+        let addr = tt_hw::injection::corrupt_syscall_arg(addr as u32) as usize;
         trace::record(TraceEvent::SyscallEnter {
             pid: pid as u32,
             call: SyscallKind::AllowRw,
@@ -694,7 +747,100 @@ impl Kernel {
         let report = format!("{reason}; {}", self.processes[pid].layout_report());
         self.processes[pid].fault(reason.to_string());
         self.fault_log.push((pid, report));
+        // A fault makes whatever the commit cache believes is live in the
+        // register file untrustworthy (the fault may stem from corrupted
+        // hardware state), so every transition into `Faulted` drops it: a
+        // stale hit after a fault is impossible by construction.
+        self.machine.cache().invalidate();
         trace::record(TraceEvent::ProcessFault { pid: pid as u32 });
+    }
+
+    /// Permanently kills a process: no further scheduling, no restart.
+    /// Drops every kernel-held handle and the commit-cache entry.
+    pub fn kill_process(&mut self, pid: usize) {
+        self.processes[pid].state = ProcessState::Killed;
+        self.upcalls[pid] = None;
+        self.subscriptions[pid].clear();
+        self.restart_due[pid] = None;
+        self.machine.cache().invalidate();
+        trace::record(TraceEvent::ProcessKill { pid: pid as u32 });
+    }
+
+    /// Fault recovery for a faulted process: reclaims its grant region,
+    /// drops every kernel-held handle into its memory (grants, allowed
+    /// buffers, pending upcalls, subscriptions), re-derives the staged
+    /// protection state from the surviving break pointers, and
+    /// invalidates the commit cache. Returns `false` if re-derivation
+    /// failed, in which case the caller must kill the process.
+    pub fn recover_process(&mut self, pid: usize) -> bool {
+        let (ok, cycles) = tt_hw::cycles::measure(|| {
+            let ok = self.processes[pid].recover();
+            self.upcalls[pid] = None;
+            self.subscriptions[pid].clear();
+            self.machine.cache().invalidate();
+            ok
+        });
+        self.recoveries[pid] += 1;
+        self.recovery_cycles[pid] += cycles;
+        trace::record(TraceEvent::Recovery {
+            pid: pid as u32,
+            step: RecoveryStep::GrantsReclaimed,
+        });
+        if ok {
+            trace::record(TraceEvent::Recovery {
+                pid: pid as u32,
+                step: RecoveryStep::StateRederived,
+            });
+        }
+        ok
+    }
+
+    /// Applies the configured fault policy to a process that is in the
+    /// `Faulted` state at the end of its scheduling slot.
+    fn apply_fault_policy(
+        &mut self,
+        pid: usize,
+        apps: &mut [Box<dyn App>],
+        factories: Option<&[AppFactory]>,
+    ) {
+        match self.fault_policy {
+            FaultPolicy::Stop => {}
+            FaultPolicy::Restart { max_restarts } => {
+                // The pre-PR 4 policy: immediate in-place respawn (needs
+                // a factory to rebuild the program alongside the memory).
+                if let Some(mk) = factories.and_then(|f| f.get(pid)) {
+                    if self.restarts[pid] < max_restarts && self.restart_process(pid).is_ok() {
+                        apps[pid] = mk();
+                    }
+                }
+            }
+            FaultPolicy::Kill => {
+                self.recover_process(pid);
+                self.kill_process(pid);
+            }
+            FaultPolicy::RestartWithBackoff {
+                max_restarts,
+                base_delay,
+                max_delay,
+            } => {
+                let recovered = self.recover_process(pid);
+                if !recovered || self.restarts[pid] >= max_restarts {
+                    trace::record(TraceEvent::Recovery {
+                        pid: pid as u32,
+                        step: RecoveryStep::RestartExhausted,
+                    });
+                    self.kill_process(pid);
+                } else {
+                    let delay =
+                        crate::recovery::backoff_delay(base_delay, max_delay, self.restarts[pid]);
+                    self.restart_due[pid] = Some(self.ticks + delay);
+                    trace::record(TraceEvent::Recovery {
+                        pid: pid as u32,
+                        step: RecoveryStep::BackoffScheduled { delay },
+                    });
+                }
+            }
+        }
     }
 
     // ---- Scheduler ------------------------------------------------------
@@ -720,6 +866,30 @@ impl Kernel {
             for (pid, value) in self.capsules.fire_due_alarms(self.ticks) {
                 self.deliver_upcall(pid, driver::ALARM, value);
             }
+            // Execute backoff restarts whose delay has elapsed.
+            #[allow(clippy::needless_range_loop)] // pid indexes kernel state and `apps`.
+            for pid in 0..self.processes.len() {
+                if self.restart_due[pid].is_some_and(|due| self.ticks >= due) {
+                    self.restart_due[pid] = None;
+                    let Some(mk) = factories.and_then(|f| f.get(pid)) else {
+                        // No factory to respawn the program: the recovered
+                        // memory block has nothing to run.
+                        self.kill_process(pid);
+                        continue;
+                    };
+                    let (restarted, cycles) = tt_hw::cycles::measure(|| self.restart_process(pid));
+                    self.recovery_cycles[pid] += cycles;
+                    if restarted.is_ok() {
+                        apps[pid] = mk();
+                    } else {
+                        trace::record(TraceEvent::Recovery {
+                            pid: pid as u32,
+                            step: RecoveryStep::RestartExhausted,
+                        });
+                        self.kill_process(pid);
+                    }
+                }
+            }
             let mut any_ready = false;
             #[allow(clippy::needless_range_loop)] // pid indexes two slices.
             for pid in 0..self.processes.len() {
@@ -736,6 +906,13 @@ impl Kernel {
                     dir: SwitchDir::In,
                 });
                 self.processes[pid].setup_mpu();
+                // An armed Stack injection nudges the process's stack
+                // pointer below its block: the modelled push lands one
+                // word under `memory_start` and the MPU faults it.
+                if tt_hw::injection::stack_nudge() {
+                    let below = self.processes[pid].memory_start() - 4;
+                    let _ = self.user_write_u32(pid, below, 0xDEAD_BEEF);
+                }
                 for _ in 0..QUANTUM {
                     if self.processes[pid].state != ProcessState::Ready {
                         break;
@@ -752,6 +929,18 @@ impl Kernel {
                         }
                     }
                 }
+                // Switch-out scrub (opt-in): the register file must still
+                // hold what the outgoing process staged; silent register
+                // corruption becomes an ordinary recoverable fault here.
+                if self.mpu_scrub
+                    && matches!(
+                        self.processes[pid].state,
+                        ProcessState::Ready | ProcessState::Yielded
+                    )
+                    && !self.processes[pid].mpu_consistent()
+                {
+                    self.fault_process(pid, "mpu scrub: register file diverged from staged state");
+                }
                 // Context switch out: kernel disables user protection (§2.1).
                 trace::record(TraceEvent::ContextSwitch {
                     pid: pid as u32,
@@ -760,28 +949,28 @@ impl Kernel {
                 self.machine.disable_user_protection();
                 trace::set_current_pid(tt_hw::trace::NO_PID);
                 charge(Cost::Exception);
-                // Apply the fault policy (needs a factory to respawn the
-                // program alongside the process memory).
+                // Apply the fault policy (restart needs a factory to
+                // respawn the program alongside the process memory).
                 if matches!(self.processes[pid].state, ProcessState::Faulted(_)) {
-                    if let FaultPolicy::Restart { max_restarts } = self.fault_policy {
-                        if let Some(mk) = factories.and_then(|f| f.get(pid)) {
-                            if self.restarts[pid] < max_restarts
-                                && self.restart_process(pid).is_ok()
-                            {
-                                apps[pid] = mk();
-                            }
-                        }
-                    }
+                    self.apply_fault_policy(pid, apps, factories);
                 }
             }
-            let all_done = self
-                .processes
-                .iter()
-                .all(|p| matches!(p.state, ProcessState::Exited | ProcessState::Faulted(_)));
+            let all_done = (0..self.processes.len()).all(|pid| {
+                match self.processes[pid].state {
+                    ProcessState::Exited | ProcessState::Killed => true,
+                    // A faulted process still counts as live while a
+                    // backoff restart is pending for it.
+                    ProcessState::Faulted(_) => self.restart_due[pid].is_none(),
+                    ProcessState::Ready | ProcessState::Yielded => false,
+                }
+            });
             if all_done {
                 break;
             }
-            if !any_ready && self.capsules.alarms.is_empty() {
+            if !any_ready
+                && self.capsules.alarms.is_empty()
+                && self.restart_due.iter().all(|due| due.is_none())
+            {
                 break; // Deadlock: everyone yielded with nothing pending.
             }
         }

@@ -8,6 +8,7 @@
 //! release tests are in [`apps`]; [`differential`] reproduces §6.1.
 
 pub mod apps;
+pub mod campaign;
 pub mod capsules;
 pub mod differential;
 pub mod grant;
@@ -16,6 +17,7 @@ pub mod loader;
 pub mod machine;
 pub mod obligations;
 pub mod process;
+pub mod recovery;
 pub mod trace;
 
 pub use kernel::{App, ErrorCode, Kernel, Step};

@@ -56,6 +56,9 @@ pub enum ProcessState {
     Exited,
     /// Faulted (MPU violation or kernel-detected error).
     Faulted(String),
+    /// Permanently killed by the fault policy (restart cap exhausted or
+    /// [`crate::kernel::FaultPolicy::Kill`]). Never scheduled again.
+    Killed,
 }
 
 /// Errors from process operations.
@@ -90,6 +93,14 @@ trait MemoryOps: fmt::Debug {
     fn buffer_in_ram(&self, addr: PtrU8, len: usize) -> bool;
     /// Write the staged configuration into the hardware.
     fn setup_mpu(&self);
+    /// Scrub fault-recovery: reclaim grant memory and re-derive the
+    /// staged protection state from the surviving break pointers.
+    fn recover(&mut self) -> bool;
+    /// Whether the live register file still matches the staged
+    /// configuration (always `true` for backends without a staged view).
+    fn mpu_consistent(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -212,6 +223,14 @@ impl MemoryOps for LegacyArm {
         self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
     }
+
+    fn recover(&mut self) -> bool {
+        // Legacy recovery is coarse: pull the kernel break back to the
+        // block top (grants reclaimed); the monolithic config is rebuilt
+        // wholesale on the restart that follows.
+        self.kernel_break = self.memory_start + self.memory_size;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -312,6 +331,12 @@ impl MemoryOps for LegacyRv {
         self.cache.invalidate();
         self.mpu.configure_mpu(&self.config);
     }
+
+    fn recover(&mut self) -> bool {
+        // See [`LegacyArm::recover`].
+        self.kernel_break = self.memory_start + self.memory_size;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -378,19 +403,32 @@ impl<M: Mpu> MemoryOps for Granular<M> {
         // The commit-cache hit path: the register file still holds this
         // process's configuration at this generation, so skip the commit
         // and only re-arm protection (one MPU_CTRL write on ARM, nothing
-        // on PMP). Soundness is asserted — not assumed — in checked
-        // builds: the live registers must equal the staged logical view.
+        // on PMP). Since PR 4 the hit path *verifies* rather than
+        // assumes: the live registers must equal the staged logical view
+        // (`hardware_matches` charges no cycles), so a register file
+        // corrupted behind the cache's back — an injected bit flip — can
+        // never be re-armed off a stale hit; it is recommitted instead.
         if self.cache.lookup(self.pid, self.alloc.generation()) {
-            self.mpu.reenable_mpu();
-            #[cfg(debug_assertions)]
-            tt_contracts::invariant!(
-                "Process::setup_mpu cache hit: hardware == staged regions",
-                self.mpu.hardware_matches(self.alloc.regions.as_slice())
-            );
-            return;
+            if self.mpu.hardware_matches(self.alloc.regions.as_slice()) {
+                tt_contracts::invariant!(
+                    "Process::setup_mpu cache hit: hardware == staged regions",
+                    self.mpu.hardware_matches(self.alloc.regions.as_slice())
+                );
+                self.mpu.reenable_mpu();
+                return;
+            }
+            self.cache.invalidate();
         }
         self.alloc.configure_mpu(&self.mpu);
         self.cache.note_committed(self.pid, self.alloc.generation());
+    }
+
+    fn recover(&mut self) -> bool {
+        self.alloc.reclaim_grants().is_ok() && self.alloc.rederive_regions().is_ok()
+    }
+
+    fn mpu_consistent(&self) -> bool {
+        self.mpu.hardware_matches(self.alloc.regions.as_slice())
     }
 }
 
@@ -726,6 +764,26 @@ impl Process {
     /// syscall, …).
     pub fn fault(&mut self, reason: impl Into<String>) {
         self.state = ProcessState::Faulted(reason.into());
+    }
+
+    /// Fault recovery: drops every kernel handle into this process's
+    /// memory (grants, allowed buffers), reclaims the grant region, and
+    /// re-derives the staged protection state from the surviving break
+    /// pointers. Returns `false` if re-derivation failed (the process
+    /// can then only be killed).
+    pub fn recover(&mut self) -> bool {
+        self.grants.clear();
+        self.allow_ro = None;
+        self.allow_rw = None;
+        self.backend.recover()
+    }
+
+    /// Whether the live protection hardware still matches this process's
+    /// staged configuration. Used by the kernel's switch-out scrub to
+    /// detect silent register corruption; trivially `true` for legacy
+    /// backends, which keep no staged logical view.
+    pub fn mpu_consistent(&self) -> bool {
+        self.backend.mpu_consistent()
     }
 
     /// A memory-layout report, printed by fault handling and by the

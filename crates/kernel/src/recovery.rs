@@ -1,0 +1,256 @@
+//! Fault recovery: backoff policy arithmetic and its verification
+//! obligations (PR 4, the "isolation under fire" component).
+//!
+//! The recovery protocol lives on [`crate::kernel::Kernel`]:
+//! `fault_process` → `recover_process` (grants reclaimed, staged state
+//! re-derived, commit cache invalidated) → either a backoff-delayed
+//! `restart_process` or `kill_process` once the restart cap is reached.
+//! This module holds the one piece of pure arithmetic in that loop — the
+//! exponential backoff — and registers the whole protocol as a Fig. 12
+//! component, driven end-to-end on real chips (ARM MPU and both PMP
+//! granularities) plus the FluxArm MemManage entry path.
+
+use crate::kernel::Kernel;
+use crate::loader::flash_app;
+use crate::process::{Flavor, ProcessState};
+use tt_contracts::obligation::{CheckResult, Registry};
+use tt_contracts::{ensures, requires, ContractKind};
+use tt_fluxarm::handlers::mem_manage_handler;
+use tt_fluxarm::{Arm7, Control, ExceptionNumber, EXC_RETURN_THREAD_MSP};
+use tt_hw::mem::{AccessType, Privilege};
+use tt_hw::platform::{ChipProfile, EARLGREY, HIFIVE1, NRF52840DK};
+use tt_hw::AddrRange;
+
+/// The Fig. 10/12 component name for these obligations.
+pub const COMPONENT: &str = "Kernel (Fault Recovery)";
+
+/// The restart delay before attempt `attempt` (0-based): `base` doubled
+/// once per prior restart, saturating at `max`.
+///
+/// The two contract sites are the convergence argument for
+/// [`crate::kernel::FaultPolicy::RestartWithBackoff`]: the delay is
+/// always in `[base.min(max), max]`, so a faulting process neither
+/// restarts in a zero-delay hot loop nor backs off unboundedly.
+pub fn backoff_delay(base: u64, max: u64, attempt: u32) -> u64 {
+    requires!("backoff_delay", base >= 1 && max >= 1);
+    let mut delay = base;
+    let mut doubled = 0u32;
+    while doubled < attempt && delay < max {
+        delay = delay.saturating_mul(2);
+        doubled += 1;
+    }
+    let delay = delay.min(max);
+    ensures!("backoff_delay", delay >= base.min(max) && delay <= max);
+    delay
+}
+
+/// Drives the kernel fault-recovery protocol end-to-end on one chip:
+/// fault → reclaim → re-derive → recommit (stale cache hit impossible)
+/// → restart. Returns the number of checked cases.
+fn check_recovery(chip: &ChipProfile, density: usize) -> Result<u64, String> {
+    let mut cases = 0u64;
+    for round in 0..density.max(1) {
+        let mut k = Kernel::boot(Flavor::Granular, chip);
+        let img = flash_app(
+            &mut k.mem,
+            chip.map.flash.start + 0x4_0000,
+            "r",
+            0x1000,
+            3000,
+            1024,
+        )
+        .map_err(|e| format!("flash: {e:?}"))?;
+        let pid = k.load_process(&img).map_err(|e| format!("load: {e:?}"))?;
+        k.processes[pid].setup_mpu();
+        for grant_id in 0..=round {
+            k.processes[pid]
+                .allocate_grant(grant_id, 64)
+                .map_err(|e| format!("grant: {e:?}"))?;
+        }
+        let top = k.processes[pid].memory_start() + k.processes[pid].memory_size();
+        if k.processes[pid].kernel_break() >= top {
+            return Err("grant allocation did not lower the kernel break".into());
+        }
+
+        k.fault_process(pid, "injected fault");
+        if !k.recover_process(pid) {
+            return Err("recovery refused a healthy layout".into());
+        }
+        // Grants reclaimed: the kernel break is back at the block top and
+        // no kernel-held handle into the block survives.
+        if k.processes[pid].kernel_break() != top {
+            return Err(format!(
+                "kernel break {:#x} not reclaimed to block top {top:#x}",
+                k.processes[pid].kernel_break()
+            ));
+        }
+        if !k.processes[pid].grants.is_empty() {
+            return Err("grant handles survived recovery".into());
+        }
+        // Stale-hit-impossible: the fault invalidated the commit cache,
+        // so the next setup_mpu must take the miss (full commit) path.
+        let misses = k.machine.cache().misses();
+        k.processes[pid].setup_mpu();
+        if k.machine.cache().misses() != misses + 1 {
+            return Err("stale commit-cache hit after a fault".into());
+        }
+        // The recommit realises the re-derived state in hardware …
+        if !k.processes[pid].mpu_consistent() {
+            return Err("hardware != re-derived staged state after recommit".into());
+        }
+        // … and isolation holds: own RAM accessible, outside denied.
+        let ms = k.processes[pid].memory_start();
+        let user_write = |k: &Kernel, addr: usize| {
+            k.machine
+                .check(addr, 4, AccessType::Write, Privilege::Unprivileged)
+                .allowed()
+        };
+        if !user_write(&k, ms + 64) || user_write(&k, top + 64) {
+            return Err("post-recovery protection is wrong".into());
+        }
+        // Restart completes recovery: the process is runnable again.
+        k.restart_process(pid)
+            .map_err(|e| format!("restart: {e:?}"))?;
+        if k.processes[pid].state != ProcessState::Ready {
+            return Err("restart did not return the process to Ready".into());
+        }
+        cases += 1;
+    }
+    Ok(cases)
+}
+
+/// Registers the fault-recovery obligations.
+pub fn register_obligations(registry: &mut Registry, density: usize) {
+    // The backoff arithmetic: monotone in the attempt number, capped at
+    // `max`, and never below `base.min(max)` — checked over a grid.
+    registry.add_fn(COMPONENT, "backoff_delay", ContractKind::Post, move || {
+        let mut cases = 0u64;
+        let span = density.max(1) as u64;
+        for base in 1..=span.max(4) {
+            for max in base..=base * 8 {
+                let mut prev = 0u64;
+                for attempt in 0..32u32 {
+                    let d = backoff_delay(base, max, attempt);
+                    if d < prev {
+                        return CheckResult::Refuted {
+                            counterexample: format!(
+                                "backoff not monotone: base={base} max={max} attempt={attempt}: \
+                                 {d} < {prev}"
+                            ),
+                        };
+                    }
+                    if d > max || d < base.min(max) {
+                        return CheckResult::Refuted {
+                            counterexample: format!(
+                                "backoff out of range: base={base} max={max} attempt={attempt}: {d}"
+                            ),
+                        };
+                    }
+                    prev = d;
+                    cases += 1;
+                }
+                // The cap is reached (convergence: the delay stops growing).
+                if prev != max {
+                    return CheckResult::Refuted {
+                        counterexample: format!("cap never reached: base={base} max={max}"),
+                    };
+                }
+            }
+        }
+        CheckResult::Verified { cases }
+    });
+
+    // The recovery protocol itself, end-to-end on ARM MPU and both PMP
+    // granularities (G=4 HiFive1, G=8 EarlGrey).
+    registry.add_fn(
+        COMPONENT,
+        "Kernel::recover_process",
+        ContractKind::Invariant,
+        move || {
+            let mut cases = 0u64;
+            for chip in [&NRF52840DK, &HIFIVE1, &EARLGREY] {
+                match check_recovery(chip, density) {
+                    Ok(c) => cases += c,
+                    Err(counterexample) => return CheckResult::Refuted { counterexample },
+                }
+            }
+            CheckResult::Verified { cases }
+        },
+    );
+
+    // The MemManage entry path: the fault that starts recovery must hand
+    // control to the *privileged kernel* on MSP, whatever privilege the
+    // faulting process had.
+    registry.add_fn(
+        COMPONENT,
+        "mem_manage_handler",
+        ContractKind::Post,
+        move || {
+            let mut cases = 0u64;
+            for i in 0..density.max(1) as u32 {
+                let mut cpu = Arm7::new(
+                    AddrRange::new(0x2000_0000, 0x2000_1000),
+                    AddrRange::new(0x2000_1000, 0x2000_3000),
+                );
+                // A process faults: unprivileged thread on PSP.
+                cpu.control = Control(0b11);
+                cpu.psp = 0x2000_2800 - 64 * i;
+                cpu.exception_entry(ExceptionNumber::MemManage);
+                let ret = mem_manage_handler(&mut cpu);
+                if ret != EXC_RETURN_THREAD_MSP {
+                    return CheckResult::Refuted {
+                        counterexample: format!("MemManage returned {ret:#x}, not THREAD_MSP"),
+                    };
+                }
+                if cpu.control.npriv() {
+                    return CheckResult::Refuted {
+                        counterexample: "kernel would resume unprivileged after MemManage".into(),
+                    };
+                }
+                cases += 1;
+            }
+            CheckResult::Verified { cases }
+        },
+    );
+
+    // Small transition helpers carry only builtin safety obligations.
+    registry.add_builtin_safety(
+        COMPONENT,
+        &["Kernel::kill_process", "Kernel::apply_fault_policy"],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        assert_eq!(backoff_delay(2, 16, 0), 2);
+        assert_eq!(backoff_delay(2, 16, 1), 4);
+        assert_eq!(backoff_delay(2, 16, 2), 8);
+        assert_eq!(backoff_delay(2, 16, 3), 16);
+        assert_eq!(backoff_delay(2, 16, 9), 16, "saturates at max");
+        assert_eq!(backoff_delay(5, 3, 0), 3, "base above max clamps");
+    }
+
+    #[test]
+    fn recovery_obligations_verify() {
+        let mut r = Registry::new();
+        register_obligations(&mut r, 2);
+        assert_eq!(r.function_count(COMPONENT), 5);
+        for o in r.obligations().iter().filter(|o| o.component == COMPONENT) {
+            match (o.check)() {
+                CheckResult::Verified { cases } => assert!(cases >= 1, "{}", o.function),
+                other => panic!("{} refuted: {other:?}", o.function),
+            }
+        }
+    }
+
+    #[test]
+    fn component_is_separate_from_the_commit_cache() {
+        let mut r = Registry::new();
+        register_obligations(&mut r, 1);
+        assert_eq!(r.components(), vec![COMPONENT]);
+    }
+}

@@ -27,8 +27,8 @@
 //! final-outcome differential oracle lacks.
 
 pub use tt_hw::trace::{
-    disable, enable, is_enabled, record, take, RegName, SwitchDir, SyscallKind, Trace, TraceEvent,
-    NO_PID,
+    disable, enable, is_enabled, record, take, RecoveryStep, RegName, SwitchDir, SyscallKind,
+    Trace, TraceEvent, NO_PID,
 };
 
 /// How aggressively [`normalize`] canonicalizes a trace before
@@ -124,6 +124,13 @@ pub fn normalize(events: &[TraceEvent], scope: TraceScope) -> Vec<TraceEvent> {
             .iter()
             .filter_map(|ev| match *ev {
                 TraceEvent::RegWrite { .. } | TraceEvent::AllocatorCommit { .. } => None,
+                // The injection event marks where the *hardware model*
+                // introduced a fault — it is not app-observable, and the
+                // campaign compares injected runs against uninjected
+                // references, so it must not diverge the stream by itself.
+                // (Kernel-level recovery events — `ProcessKill`,
+                // `Recovery` — stay: both flavors emit them identically.)
+                TraceEvent::FaultInjected { .. } => None,
                 TraceEvent::SyscallEnter {
                     pid,
                     call,
@@ -237,7 +244,50 @@ pub fn render_event(ev: &TraceEvent) -> String {
         TraceEvent::ProcessLoad { pid } => format!("pid{pid} loaded"),
         TraceEvent::ProcessRestart { pid } => format!("pid{pid} restarted"),
         TraceEvent::ProcessFault { pid } => format!("pid{pid} FAULTED"),
+        TraceEvent::ProcessKill { pid } => format!("pid{pid} KILLED"),
+        TraceEvent::Recovery { pid, step } => match step {
+            RecoveryStep::BackoffScheduled { delay } => {
+                format!("pid{pid} recovery: restart in {delay} ticks (backoff)")
+            }
+            RecoveryStep::GrantsReclaimed => format!("pid{pid} recovery: grants reclaimed"),
+            RecoveryStep::StateRederived => format!("pid{pid} recovery: state re-derived"),
+            RecoveryStep::RestartExhausted => format!("pid{pid} recovery: restart cap exhausted"),
+        },
+        TraceEvent::FaultInjected { pid, point, info } => {
+            format!("pid{pid} FAULT INJECTED at {point:?} (info={info:#x})")
+        }
     }
+}
+
+/// The process a trace event is attributed to, if it carries one.
+/// Register-level and allocator-internal events carry none.
+pub fn event_pid(ev: &TraceEvent) -> Option<u32> {
+    match *ev {
+        TraceEvent::SyscallEnter { pid, .. }
+        | TraceEvent::SyscallExit { pid, .. }
+        | TraceEvent::ContextSwitch { pid, .. }
+        | TraceEvent::MpuCommit { pid }
+        | TraceEvent::BusFault { pid, .. }
+        | TraceEvent::UpcallDeliver { pid, .. }
+        | TraceEvent::ProcessLoad { pid }
+        | TraceEvent::ProcessRestart { pid }
+        | TraceEvent::ProcessFault { pid }
+        | TraceEvent::ProcessKill { pid }
+        | TraceEvent::Recovery { pid, .. }
+        | TraceEvent::FaultInjected { pid, .. } => Some(pid),
+        TraceEvent::RegWrite { .. } | TraceEvent::AllocatorCommit { .. } => None,
+    }
+}
+
+/// Normalizes a trace under `scope` and keeps only the events attributed
+/// to `pid`. This is the fault campaign's bystander oracle: a process the
+/// injection plan does not target must produce exactly the same
+/// per-process observable stream as in an uninjected reference run.
+pub fn normalize_for_pid(events: &[TraceEvent], scope: TraceScope, pid: u32) -> Vec<TraceEvent> {
+    normalize(events, scope)
+        .into_iter()
+        .filter(|ev| event_pid(ev) == Some(pid))
+        .collect()
 }
 
 /// Renders a divergence: the shared context, then the two sides' first
@@ -443,6 +493,94 @@ mod tests {
         let t = Trace { events, dropped: 0 };
         assert_eq!(diff_traces(&t, &t.clone(), TraceScope::Full), None);
         assert_eq!(diff_traces(&t, &t.clone(), TraceScope::Observable), None);
+    }
+
+    #[test]
+    fn observable_scope_drops_injection_events_but_keeps_recovery() {
+        let injected = vec![
+            commit(0),
+            TraceEvent::FaultInjected {
+                pid: 0,
+                point: tt_hw::injection::InjectionPoint::ArmRasr,
+                info: 4,
+            },
+            TraceEvent::ProcessFault { pid: 0 },
+            TraceEvent::Recovery {
+                pid: 0,
+                step: RecoveryStep::GrantsReclaimed,
+            },
+        ];
+        let reference = vec![
+            commit(0),
+            TraceEvent::ProcessFault { pid: 0 },
+            TraceEvent::Recovery {
+                pid: 0,
+                step: RecoveryStep::GrantsReclaimed,
+            },
+        ];
+        assert_eq!(
+            normalize(&injected, TraceScope::Observable),
+            normalize(&reference, TraceScope::Observable)
+        );
+        // A missing recovery step still diverges.
+        let missing = vec![commit(0), TraceEvent::ProcessFault { pid: 0 }];
+        assert_ne!(
+            normalize(&injected, TraceScope::Observable),
+            normalize(&missing, TraceScope::Observable)
+        );
+    }
+
+    #[test]
+    fn per_pid_filter_keeps_only_the_named_process() {
+        let events = vec![
+            commit(0),
+            commit(1),
+            TraceEvent::ProcessKill { pid: 1 },
+            rw(RegName::Rasr, 0, 1),
+            TraceEvent::ProcessFault { pid: 0 },
+        ];
+        assert_eq!(
+            normalize_for_pid(&events, TraceScope::Observable, 1),
+            vec![commit(1), TraceEvent::ProcessKill { pid: 1 }]
+        );
+        assert_eq!(
+            normalize_for_pid(&events, TraceScope::Observable, 0),
+            vec![commit(0), TraceEvent::ProcessFault { pid: 0 }]
+        );
+    }
+
+    #[test]
+    fn new_event_kinds_render() {
+        let evs = [
+            (TraceEvent::ProcessKill { pid: 2 }, "KILLED"),
+            (
+                TraceEvent::Recovery {
+                    pid: 2,
+                    step: RecoveryStep::BackoffScheduled { delay: 8 },
+                },
+                "restart in 8 ticks",
+            ),
+            (
+                TraceEvent::Recovery {
+                    pid: 2,
+                    step: RecoveryStep::RestartExhausted,
+                },
+                "cap exhausted",
+            ),
+            (
+                TraceEvent::FaultInjected {
+                    pid: 2,
+                    point: tt_hw::injection::InjectionPoint::PmpCfg,
+                    info: 3,
+                },
+                "FAULT INJECTED at PmpCfg",
+            ),
+        ];
+        for (ev, needle) in evs {
+            let line = render_event(&ev);
+            assert!(line.contains(needle), "{line:?} missing {needle:?}");
+            assert!(line.contains("pid2"));
+        }
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Integration tests for the PR 4 fault-recovery subsystem: commit-cache
+//! invalidation on every `Faulted` transition (a stale hit after a fault
+//! is impossible), the `Kill` and `RestartWithBackoff` policies, and
+//! proptests for backoff monotonicity and restart-cap termination.
+
+use std::cell::RefCell;
+
+use proptest::prelude::*;
+use tt_hw::platform::{ChipProfile, ALL_CHIPS, NRF52840DK};
+use tt_kernel::kernel::{App, AppFactory, FaultPolicy, Step};
+use tt_kernel::loader::flash_app;
+use tt_kernel::process::Flavor;
+use tt_kernel::recovery::backoff_delay;
+use tt_kernel::trace::{RecoveryStep, TraceEvent};
+use tt_kernel::{trace, Kernel, ProcessState};
+
+const TRACE_CAPACITY: usize = 65_536;
+
+fn boot(chip: &ChipProfile) -> (Kernel, usize) {
+    tt_hw::cycles::reset();
+    trace::enable(TRACE_CAPACITY);
+    let mut k = Kernel::boot(Flavor::Granular, chip);
+    let image = flash_app(
+        &mut k.mem,
+        chip.map.flash.start + 0x4_0000,
+        "fr",
+        0x1000,
+        4096,
+        2048,
+    )
+    .unwrap();
+    let pid = k.load_process(&image).unwrap();
+    k.processes[pid].setup_mpu();
+    (k, pid)
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: stale cache hit after a fault is impossible.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_fault_transition_invalidates_the_commit_cache() {
+    for chip in &ALL_CHIPS {
+        let (mut k, pid) = boot(chip);
+        // Warm the cache, then fault: the transition into Faulted must
+        // drop the cache, so the next setup_mpu is a full re-commit.
+        k.processes[pid].setup_mpu();
+        let hits = k.machine.cache().hits();
+        k.processes[pid].setup_mpu();
+        assert_eq!(k.machine.cache().hits(), hits + 1, "{}: warm", chip.name);
+
+        k.fault_process(pid, "injected");
+        assert!(k.recover_process(pid), "{}", chip.name);
+        let misses = k.machine.cache().misses();
+        k.processes[pid].setup_mpu();
+        assert_eq!(
+            k.machine.cache().misses(),
+            misses + 1,
+            "{}: the first switch-in after a fault must miss",
+            chip.name
+        );
+        assert!(k.processes[pid].mpu_consistent(), "{}", chip.name);
+
+        // Restart (Faulted -> restarted) also lands on a cold cache.
+        k.fault_process(pid, "injected again");
+        assert!(k.recover_process(pid));
+        k.restart_process(pid).unwrap();
+        let misses = k.machine.cache().misses();
+        k.processes[pid].setup_mpu();
+        assert_eq!(k.machine.cache().misses(), misses + 1, "{}", chip.name);
+        trace::disable();
+    }
+}
+
+#[test]
+fn fault_path_repairs_corrupted_registers_without_a_stale_hit() {
+    // Corrupt a register while the cache is warm: a bare cache hit would
+    // re-arm the stale configuration without touching hardware, which is
+    // exactly what the fault path must make impossible.
+    let (mut k, pid) = boot(&NRF52840DK);
+    k.processes[pid].setup_mpu(); // warm: cache holds (pid, generation)
+    assert!(k.processes[pid].mpu_consistent());
+    let mpu = k.machine.cortexm().unwrap();
+    {
+        let mut mpu = mpu.borrow_mut();
+        let regs = mpu.region(0);
+        mpu.write_rbar(regs.rbar ^ 0x20); // flip an address bit behind the cache
+    }
+    assert!(!k.processes[pid].mpu_consistent());
+    k.fault_process(pid, "corrupted register file");
+    assert!(k.recover_process(pid));
+    let hits = k.machine.cache().hits();
+    k.processes[pid].setup_mpu();
+    assert_eq!(k.machine.cache().hits(), hits, "no stale hit after a fault");
+    assert!(
+        k.processes[pid].mpu_consistent(),
+        "the post-fault re-commit repairs the corruption"
+    );
+    trace::disable();
+}
+
+// ---------------------------------------------------------------------
+// Fault policies.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Steps at which `ScheduledFaulter` faults, shared with the restart
+    /// factory (an `AppFactory` is a plain fn pointer and cannot capture).
+    static FAULT_SCHEDULE: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ScheduledFaulter {
+    step_no: u32,
+}
+
+impl App for ScheduledFaulter {
+    fn name(&self) -> &'static str {
+        "faulter"
+    }
+    fn step(&mut self, k: &mut Kernel, pid: usize) -> Step {
+        let i = self.step_no;
+        self.step_no += 1;
+        if FAULT_SCHEDULE.with(|s| s.borrow().contains(&i)) {
+            k.fault_process(pid, "scheduled fault");
+            return Step::Continue;
+        }
+        let _ = k.sys_print(pid, "ok\r\n");
+        if self.step_no >= 12 {
+            Step::Exit
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+fn mk_faulter() -> Box<dyn App> {
+    Box::new(ScheduledFaulter { step_no: 0 })
+}
+
+fn run_policy(policy: FaultPolicy, schedule: &[u32], max_ticks: u64) -> Kernel {
+    FAULT_SCHEDULE.with(|s| *s.borrow_mut() = schedule.to_vec());
+    tt_hw::cycles::reset();
+    trace::enable(TRACE_CAPACITY);
+    let mut k = Kernel::boot(Flavor::Granular, &NRF52840DK);
+    let image = flash_app(
+        &mut k.mem,
+        NRF52840DK.map.flash.start + 0x4_0000,
+        "fr",
+        0x1000,
+        4096,
+        2048,
+    )
+    .unwrap();
+    k.load_process(&image).unwrap();
+    k.fault_policy = policy;
+    let mut apps: Vec<Box<dyn App>> = vec![mk_faulter()];
+    let factories: [AppFactory; 1] = [mk_faulter];
+    k.run_with_factories(&mut apps, Some(&factories), max_ticks);
+    trace::disable();
+    k
+}
+
+#[test]
+fn kill_policy_kills_on_first_fault() {
+    let k = run_policy(FaultPolicy::Kill, &[2], 50);
+    assert_eq!(k.processes[0].state, ProcessState::Killed);
+    assert_eq!(k.restarts[0], 0);
+    assert_eq!(k.recoveries[0], 1, "killed processes are still scrubbed");
+}
+
+#[test]
+fn backoff_policy_restarts_then_exits() {
+    // One fault at step 2; the restarted instance runs the same schedule
+    // but its fresh counter passes step 2 only once more... the schedule
+    // applies to every incarnation, so fault forever -> the cap decides.
+    let k = run_policy(
+        FaultPolicy::RestartWithBackoff {
+            max_restarts: 3,
+            base_delay: 2,
+            max_delay: 8,
+        },
+        &[],
+        50,
+    );
+    assert_eq!(k.processes[0].state, ProcessState::Exited);
+    assert_eq!(k.restarts[0], 0);
+}
+
+#[test]
+fn backoff_policy_exhausts_cap_into_permanent_kill() {
+    let k = run_policy(
+        FaultPolicy::RestartWithBackoff {
+            max_restarts: 3,
+            base_delay: 2,
+            max_delay: 8,
+        },
+        &[1],
+        400,
+    );
+    assert_eq!(k.processes[0].state, ProcessState::Killed);
+    assert_eq!(k.restarts[0], 3, "exactly max_restarts restarts");
+    assert_eq!(k.recoveries[0], 4, "every fault recovered before the kill");
+}
+
+#[test]
+fn backoff_delays_in_the_trace_are_monotone_and_capped() {
+    tt_hw::cycles::reset();
+    trace::enable(TRACE_CAPACITY);
+    FAULT_SCHEDULE.with(|s| *s.borrow_mut() = vec![1]);
+    let mut k = Kernel::boot(Flavor::Granular, &NRF52840DK);
+    let image = flash_app(
+        &mut k.mem,
+        NRF52840DK.map.flash.start + 0x4_0000,
+        "fr",
+        0x1000,
+        4096,
+        2048,
+    )
+    .unwrap();
+    k.load_process(&image).unwrap();
+    k.fault_policy = FaultPolicy::RestartWithBackoff {
+        max_restarts: 4,
+        base_delay: 2,
+        max_delay: 8,
+    };
+    let mut apps: Vec<Box<dyn App>> = vec![mk_faulter()];
+    let factories: [AppFactory; 1] = [mk_faulter];
+    k.run_with_factories(&mut apps, Some(&factories), 400);
+    let events = trace::take().events;
+    trace::disable();
+
+    let delays: Vec<u64> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Recovery {
+                step: RecoveryStep::BackoffScheduled { delay },
+                ..
+            } => Some(*delay),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delays, vec![2, 4, 8, 8], "doubles from base, capped at max");
+    assert!(events.iter().any(|ev| matches!(
+        ev,
+        TraceEvent::Recovery {
+            step: RecoveryStep::RestartExhausted,
+            ..
+        }
+    )));
+    assert!(events
+        .iter()
+        .any(|ev| matches!(ev, TraceEvent::ProcessKill { pid: 0 })));
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: proptests.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The backoff is monotone in the attempt number and always within
+    /// `[base.min(max), max]` — no zero-delay hot loops, no unbounded
+    /// backoff.
+    #[test]
+    fn backoff_is_monotone_and_capped(
+        base in 1u64..64,
+        max in 1u64..512,
+        attempt in 0u32..40,
+    ) {
+        let d = backoff_delay(base, max, attempt);
+        let next = backoff_delay(base, max, attempt + 1);
+        prop_assert!(d <= next, "monotone: {d} then {next}");
+        prop_assert!(d >= base.min(max) && d <= max, "in range: {d}");
+        // The cap is reachable: far enough out, the delay is exactly max.
+        prop_assert_eq!(backoff_delay(base, max, 40), max);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The restart-cap policy terminates for arbitrary fault schedules:
+    /// the kernel run always ends with the process Exited or permanently
+    /// Killed, never a restart livelock, and never more than
+    /// `max_restarts` restarts.
+    #[test]
+    fn restart_cap_terminates_any_fault_schedule(
+        schedule in proptest::collection::vec(0u32..12, 0..4),
+        max_restarts in 0u32..4,
+        base_delay in 1u64..4,
+        max_delay in 4u64..16,
+    ) {
+        let k = run_policy(
+            FaultPolicy::RestartWithBackoff { max_restarts, base_delay, max_delay },
+            &schedule,
+            1000,
+        );
+        let state = &k.processes[0].state;
+        prop_assert!(
+            matches!(state, ProcessState::Exited | ProcessState::Killed),
+            "converged: {state:?} after {} restarts",
+            k.restarts[0]
+        );
+        prop_assert!(k.restarts[0] <= max_restarts);
+        if schedule.is_empty() {
+            prop_assert_eq!(state.clone(), ProcessState::Exited);
+        } else {
+            prop_assert_eq!(state.clone(), ProcessState::Killed);
+        }
+    }
+}
