@@ -1,0 +1,164 @@
+//! Microbench for the simulator's per-event hot path: `trace::record`,
+//! `cycles::charge`/`charge_n`, `cycles::record_method` and a `requires!`
+//! contract check, in enabled / disabled / observe configurations.
+//!
+//! Every simulated register write pays some combination of these, so their
+//! per-call cost is pure interpreter overhead. The throughput-engine PR
+//! consolidates the thread-local state they touch into one `SimContext`;
+//! this bench is the before/after evidence. Each sample performs
+//! `BATCH` calls so the measured medians are well above timer resolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tt_contracts::{requires, with_mode, Mode};
+use tt_hw::cycles::{self, Cost};
+use tt_hw::trace::{self, RegName, TraceEvent};
+
+/// Calls per timed sample.
+const BATCH: u32 = 100_000;
+
+fn ev(value: u32) -> TraceEvent {
+    TraceEvent::RegWrite {
+        reg: RegName::Rasr,
+        index: 1,
+        value,
+    }
+}
+
+fn bench_trace_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_path");
+    g.bench_function(format!("trace_record_disabled_x{BATCH}"), |b| {
+        trace::disable();
+        b.iter(|| {
+            for v in 0..BATCH {
+                trace::record(black_box(ev(v)));
+            }
+        });
+    });
+    g.bench_function(format!("trace_record_enabled_x{BATCH}"), |b| {
+        // The realistic enabled shape: the kernel traces into a 64k-event
+        // ring and a release test records a few thousand events, so the
+        // steady-state push is the *append* path (no wraparound). The
+        // re-`enable` per sample re-arms the same storage (no allocation
+        // after the first sample). The event is materialized once outside
+        // the loop so the measurement is the record path, not the
+        // per-iteration event construction scaffolding.
+        let e = black_box(ev(7));
+        b.iter(|| {
+            trace::enable(BATCH as usize);
+            for _ in 0..BATCH {
+                trace::record(e);
+            }
+        });
+        trace::disable();
+    });
+    g.bench_function(format!("trace_record_wrapped_x{BATCH}"), |b| {
+        // Saturated-ring shape: every push overwrites the oldest event.
+        // Only pathological runs (ring much smaller than the event
+        // stream) live here, but the wrap path must stay cheap too.
+        trace::enable(4096);
+        let e = black_box(ev(7));
+        b.iter(|| {
+            for _ in 0..BATCH {
+                trace::record(e);
+            }
+        });
+        trace::disable();
+    });
+    g.bench_function("trace_enable_take_cycle_x100".to_string(), |b| {
+        // The per-run setup path: enable a 64k ring, record a little,
+        // drain. Run-per-run allocation shows up here.
+        b.iter(|| {
+            for _ in 0..100 {
+                trace::enable(65_536);
+                for v in 0..64 {
+                    trace::record(ev(v));
+                }
+                let t = trace::take();
+                black_box(t.events.len());
+            }
+        });
+        trace::disable();
+    });
+    g.finish();
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_path");
+    g.bench_function(format!("cycles_charge_enabled_x{BATCH}"), |b| {
+        cycles::reset();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                cycles::charge(black_box(Cost::Alu));
+            }
+        });
+    });
+    g.bench_function(format!("cycles_charge_disabled_x{BATCH}"), |b| {
+        let prev = cycles::set_enabled(false);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                cycles::charge(black_box(Cost::Alu));
+            }
+        });
+        cycles::set_enabled(prev);
+    });
+    g.bench_function(format!("record_method_recording_x{BATCH}"), |b| {
+        let prev = cycles::set_recording(true);
+        b.iter(|| {
+            for v in 0..BATCH {
+                cycles::record_method("hot_path", u64::from(v));
+            }
+            // Drain so the buffer cannot grow across samples.
+            black_box(cycles::take_method_records().len());
+        });
+        cycles::set_recording(prev);
+    });
+    g.bench_function("record_method_run_cycle_x100", |b| {
+        // The Fig. 11 shape: a run records on the order of a thousand
+        // method spans, then the harness drains them. Run-per-run buffer
+        // (re)allocation shows up here.
+        let prev = cycles::set_recording(true);
+        b.iter(|| {
+            for _ in 0..100 {
+                for v in 0..1_000u32 {
+                    cycles::record_method("hot_path", u64::from(v));
+                }
+                black_box(cycles::take_method_records().len());
+            }
+        });
+        cycles::set_recording(prev);
+    });
+    g.finish();
+}
+
+fn bench_contracts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_path");
+    g.bench_function(format!("requires_enforce_pass_x{BATCH}"), |b| {
+        b.iter(|| {
+            for v in 0..BATCH {
+                requires!("hot_path::bench", black_box(v) < BATCH);
+            }
+        });
+    });
+    g.bench_function(format!("requires_observe_pass_x{BATCH}"), |b| {
+        with_mode(Mode::Observe, || {
+            b.iter(|| {
+                for v in 0..BATCH {
+                    requires!("hot_path::bench", black_box(v) < BATCH);
+                }
+            });
+        });
+    });
+    g.bench_function(format!("requires_off_x{BATCH}"), |b| {
+        with_mode(Mode::Off, || {
+            b.iter(|| {
+                for v in 0..BATCH {
+                    requires!("hot_path::bench", black_box(v) < BATCH);
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(hot_path, bench_trace_record, bench_cycles, bench_contracts);
+criterion_main!(hot_path);

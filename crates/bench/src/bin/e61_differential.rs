@@ -8,14 +8,15 @@
 //! divergence for every differing test (not just the console diff), using
 //! the trace-equivalence oracle in `tt_kernel::trace`.
 //!
-//! With `--json [path]`, runs the suite on all seven chip profiles
-//! (fanned out over scoped threads; `TT_BENCH_THREADS` caps the per-chip
-//! workers) and writes `BENCH_e61.json` with the per-chip 21/5 shape and
-//! the suite wall-clock.
+//! With `--json [path]`, runs the suite on all seven chip profiles —
+//! every `(chip, test)` diff is one unit of work on the work-stealing
+//! pool (`TT_BENCH_THREADS` sets the worker count) — and writes
+//! `BENCH_e61.json` with the per-chip 21/5 shape and the suite
+//! wall-clock.
 
 use std::process::ExitCode;
 
-use tt_bench::json;
+use tt_bench::reports;
 use tt_kernel::differential::{render_report, run_release_suite, run_release_suite_all_chips};
 use tt_kernel::trace::render_divergence;
 
@@ -56,39 +57,8 @@ fn main() -> ExitCode {
         let started = std::time::Instant::now();
         let per_chip = run_release_suite_all_chips();
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-        let mut doc = String::new();
-        doc.push_str("{\n  \"experiment\": \"e61_differential\",\n");
-        doc.push_str(&format!("  \"wall_clock_ms\": {},\n", json::num(wall_ms)));
-        doc.push_str("  \"chips\": [\n");
-        for (i, (chip, results)) in per_chip.iter().enumerate() {
-            let differing = results.iter().filter(|r| !r.matches()).count();
-            let chip_unexpected: Vec<&str> = results
-                .iter()
-                .filter(|r| r.matches() == r.expect_differs)
-                .map(|r| r.name)
-                .collect();
-            // matches() requires observable-trace equivalence, so this
-            // counts divergences only among the expected console diffs.
-            let divergent = results
-                .iter()
-                .filter(|r| r.trace_divergence.is_some())
-                .count();
-            unexpected.extend(
-                chip_unexpected
-                    .iter()
-                    .map(|name| format!("{}:{name}", chip.name)),
-            );
-            doc.push_str(&format!(
-                "    {{\"chip\": \"{}\", \"tests\": {}, \"differing\": {}, \"unexpected\": {}, \"observable_divergences\": {}}}{}\n",
-                json::escape(chip.name),
-                results.len(),
-                differing,
-                chip_unexpected.len(),
-                divergent,
-                if i + 1 < per_chip.len() { "," } else { "" }
-            ));
-        }
-        doc.push_str("  ]\n}\n");
+        unexpected.extend(reports::e61_unexpected(&per_chip));
+        let doc = reports::e61_json(&per_chip, wall_ms);
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

@@ -17,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use tt_bench::json;
+use tt_bench::reports;
 use tt_kernel::campaign::{render_report, run_campaign};
 
 fn main() -> ExitCode {
@@ -46,34 +46,7 @@ fn main() -> ExitCode {
     let failures: usize = reports.iter().map(|r| r.failures.len()).sum();
 
     if let Some(path) = json_path {
-        let mut doc = String::new();
-        doc.push_str("{\n  \"experiment\": \"e_fault_campaign\",\n");
-        doc.push_str(&format!("  \"seeds_per_chip\": {seeds},\n"));
-        doc.push_str(&format!(
-            "  \"injected_runs\": {},\n",
-            reports.iter().map(|r| r.runs * 2).sum::<u64>()
-        ));
-        doc.push_str(&format!("  \"failures\": {failures},\n"));
-        doc.push_str(&format!("  \"wall_clock_ms\": {},\n", json::num(wall_ms)));
-        doc.push_str("  \"chips\": [\n");
-        for (i, r) in reports.iter().enumerate() {
-            doc.push_str(&format!(
-                "    {{\"chip\": \"{}\", \"runs\": {}, \"fired\": {}, \"recoveries\": {}, \
-                 \"restarts\": {}, \"killed\": {}, \"recovery_cycles_warm_mean\": {}, \
-                 \"recovery_cycles_cold_mean\": {}, \"failures\": {}}}{}\n",
-                json::escape(r.chip),
-                r.runs * 2,
-                r.fired,
-                r.recoveries,
-                r.restarts,
-                r.killed,
-                json::num(r.warm_mean()),
-                json::num(r.cold_mean()),
-                r.failures.len(),
-                if i + 1 < reports.len() { "," } else { "" }
-            ));
-        }
-        doc.push_str("  ]\n}\n");
+        let doc = reports::campaign_json(&reports, seeds, wall_ms);
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

@@ -1,0 +1,81 @@
+//! Simulation throughput gate: runs/sec across the worker-count ladder.
+//!
+//! Runs the fault-injection campaign (`--seeds N` per chip, default 10)
+//! and the §6.1 differential suite across all chips at 1, N/2 and N
+//! workers (N = `TT_BENCH_THREADS` or the host core count) and prints
+//! runs-per-second for each rung.
+//!
+//! With `--json [path]`, writes `BENCH_throughput.json`. With
+//! `--check [baseline]` (default `ci/bench_baseline.json`), exits
+//! non-zero if any rung's campaign or differential artifact is not
+//! byte-identical to the serial rung's, or — on multi-core hosts — if
+//! the best campaign speedup misses the baseline's
+//! `min_parallel_speedup` floor. This is the CI gate for the
+//! work-stealing pool: determinism is checked everywhere, the speedup
+//! floor only where the hardware can express one.
+
+use std::process::ExitCode;
+
+use tt_bench::throughput::{check, host_cores, render, render_json, run_ladder};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_throughput.json".into())
+    });
+    let check_path = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "ci/bench_baseline.json".into())
+    });
+
+    let cores = host_cores();
+    println!(
+        "Simulation throughput (campaign --seeds {seeds} + differential suite, {cores} core(s))"
+    );
+    let entries = run_ladder(seeds);
+    print!("{}", render(&entries));
+
+    if let Some(path) = json_path {
+        let doc = render_json(&entries, seeds, cores);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} rungs)", entries.len());
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check(&entries, &baseline, cores) {
+            Ok(notes) => {
+                for note in notes {
+                    println!("check: {note}");
+                }
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("THROUGHPUT GATE FAILED: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

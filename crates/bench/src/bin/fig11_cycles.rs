@@ -58,8 +58,13 @@ fn render_json(rows: &[Fig11Row], switches: &[SwitchCost], wall_ms: f64) -> Stri
 }
 
 /// Fails (returns an error message) if either arch's cache-hit cycles
-/// regressed more than 10% against the committed baseline.
-fn check_against(baseline: &str, switches: &[SwitchCost]) -> Result<(), String> {
+/// regressed more than 10% against the committed baseline, or if any
+/// per-method TickTock cycle mean pinned in the baseline drifted more
+/// than 10% in either direction. The cycle model is deterministic, so a
+/// drift means the accounting itself changed — the gate that keeps the
+/// hot-path fast lane from silently altering what `cycles::charge`
+/// records.
+fn check_against(baseline: &str, rows: &[Fig11Row], switches: &[SwitchCost]) -> Result<(), String> {
     for arch in ["arm", "riscv"] {
         let key = format!("{arch}_hit");
         let allowed = json::read_number(baseline, &key)
@@ -74,6 +79,20 @@ fn check_against(baseline: &str, switches: &[SwitchCost]) -> Result<(), String> 
         if current > allowed * 1.1 && current > allowed {
             return Err(format!(
                 "{arch} cache-hit context switch regressed: {current} cycles vs baseline {allowed} (>10%)"
+            ));
+        }
+    }
+    for row in rows {
+        let key = format!("ticktock_{}", row.method);
+        // Only methods the baseline pins are checked, so the baseline
+        // can grow one method at a time.
+        let Some(pinned) = json::read_number(baseline, &key) else {
+            continue;
+        };
+        if (row.ticktock - pinned).abs() > pinned * 0.1 {
+            return Err(format!(
+                "{} cycle accounting drifted: {:.2} cycles vs baseline {pinned} (>10%)",
+                row.method, row.ticktock
             ));
         }
     }
@@ -131,7 +150,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(msg) = check_against(&baseline, &switches) {
+        if let Err(msg) = check_against(&baseline, &rows, &switches) {
             eprintln!("REGRESSION: {msg}");
             return ExitCode::FAILURE;
         }

@@ -10,6 +10,7 @@ use tt_hw::cycles::{self, CycleStats};
 use tt_kernel::apps::release_tests;
 use tt_kernel::differential::run_one;
 use tt_kernel::loader::flash_app;
+use tt_kernel::pool;
 use tt_kernel::process::Flavor;
 use tt_kernel::Kernel;
 use tt_legacy::BugVariant;
@@ -45,18 +46,51 @@ pub fn stress_workload(flavor: Flavor) {
 }
 
 /// Runs the 21 release tests plus the stress workload under cycle
-/// recording and returns per-method statistics.
+/// recording and returns per-method statistics, fanned over the
+/// work-stealing pool sized by [`pool::default_threads`].
 pub fn collect(flavor: Flavor, runs: usize) -> BTreeMap<&'static str, CycleStats> {
-    let mut stats: BTreeMap<&'static str, CycleStats> = BTreeMap::new();
+    collect_with_threads(flavor, runs, pool::default_threads())
+}
+
+/// [`collect`] with an explicit worker count (1 = serial). The unit of
+/// work is one release test (or the stress workload) of one run; each
+/// unit records its own method spans and the per-unit record lists merge
+/// in unit order, so the resulting statistics — and the Fig. 11 cycle
+/// numbers derived from them — are identical at any thread count.
+pub fn collect_with_threads(
+    flavor: Flavor,
+    runs: usize,
+    threads: usize,
+) -> BTreeMap<&'static str, CycleStats> {
+    let tests = release_tests();
+    // `Some(test)` units in test order, then the stress workload, per run
+    // — the serial execution order.
+    let mut units: Vec<Option<usize>> = Vec::with_capacity(runs * (tests.len() + 1));
     for _ in 0..runs {
+        units.extend((0..tests.len()).map(Some));
+        units.push(None);
+    }
+    // The commit-cache flag is thread-local: propagate the caller's mode
+    // (e.g. a `with_disabled` scope around this call) into the workers.
+    let cache_on = tt_hw::commit_cache::enabled();
+    let tests = &tests;
+    let per_unit = pool::run_indexed(&units, threads, |_, &unit| {
+        let prev_cache = tt_hw::commit_cache::set_enabled(cache_on);
         cycles::reset();
         let prev = cycles::set_recording(true);
-        for test in release_tests() {
-            let _ = run_one(&test, flavor);
+        match unit {
+            Some(t) => {
+                let _ = run_one(&tests[t], flavor);
+            }
+            None => stress_workload(flavor),
         }
-        stress_workload(flavor);
         cycles::set_recording(prev);
-        for (name, span) in cycles::take_method_records() {
+        tt_hw::commit_cache::set_enabled(prev_cache);
+        cycles::take_method_records()
+    });
+    let mut stats: BTreeMap<&'static str, CycleStats> = BTreeMap::new();
+    for records in per_unit {
+        for (name, span) in records {
             stats.entry(name).or_default().record(span);
         }
     }

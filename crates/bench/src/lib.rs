@@ -19,7 +19,9 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod json;
+pub mod reports;
 pub mod switch;
+pub mod throughput;
 
 /// Formats a `±x.xx%` difference the way Fig. 11 prints it.
 pub fn pct_diff(ticktock: f64, tock: f64) -> String {

@@ -1,0 +1,82 @@
+//! The throughput engine's determinism contract, end to end: every
+//! artifact the parallel runners produce — campaign text report,
+//! `BENCH_fault.json`, `BENCH_e61.json` — must be byte-identical to the
+//! serial runner's, at any worker count and across repeated invocations
+//! of the same seeds.
+//!
+//! This is the property that makes the work-stealing pool safe to gate
+//! CI on: scheduling order may vary freely, observable output may not.
+//! Wall-clock fields are pinned to 0 via the `reports` renderers so the
+//! comparison covers simulation results only.
+
+use proptest::prelude::*;
+use tt_bench::reports;
+use tt_bench::throughput::measure;
+use tt_hw::platform::{HIFIVE1, NRF52840DK};
+use tt_kernel::campaign::{render_report as render_campaign, run_campaign_on};
+use tt_kernel::differential::{
+    render_report as render_diff, run_release_suite_all_chips_with_threads,
+    run_release_suite_on_with_threads,
+};
+
+#[test]
+fn campaign_artifacts_are_byte_identical_serial_vs_parallel() {
+    let chips = [NRF52840DK, HIFIVE1];
+    let serial = run_campaign_on(&chips, 3, 1);
+    let serial_text = render_campaign(&serial, 3);
+    let serial_json = reports::campaign_json(&serial, 3, 0.0);
+    for threads in [2, 8] {
+        let parallel = run_campaign_on(&chips, 3, threads);
+        assert_eq!(
+            serial_text,
+            render_campaign(&parallel, 3),
+            "threads = {threads}"
+        );
+        assert_eq!(
+            serial_json,
+            reports::campaign_json(&parallel, 3, 0.0),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn e61_artifacts_are_byte_identical_serial_vs_parallel() {
+    let serial_chip = render_diff(&run_release_suite_on_with_threads(&NRF52840DK, 1));
+    assert_eq!(
+        serial_chip,
+        render_diff(&run_release_suite_on_with_threads(&NRF52840DK, 8))
+    );
+    let serial_all = reports::e61_json(&run_release_suite_all_chips_with_threads(1), 0.0);
+    assert_eq!(
+        serial_all,
+        reports::e61_json(&run_release_suite_all_chips_with_threads(8), 0.0)
+    );
+}
+
+#[test]
+fn same_seed_invocations_are_byte_identical() {
+    // Two full measurements of the same workload at a parallel worker
+    // count: scheduling differs between invocations, artifacts may not.
+    let a = measure(2, 4);
+    let b = measure(2, 4);
+    assert_eq!(a.campaign_artifact, b.campaign_artifact);
+    assert_eq!(a.diff_artifact, b.diff_artifact);
+    assert_eq!(a.sample.campaign_runs, b.sample.campaign_runs);
+    assert_eq!(a.sample.diff_runs, b.sample.diff_runs);
+}
+
+proptest! {
+    // Shrunk case count: each case boots dozens of simulated kernels.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn campaign_json_is_thread_count_invariant(
+        seeds in 1u64..4,
+        threads in 2usize..10,
+    ) {
+        let chips = [NRF52840DK];
+        let serial = reports::campaign_json(&run_campaign_on(&chips, seeds, 1), seeds, 0.0);
+        let parallel = reports::campaign_json(&run_campaign_on(&chips, seeds, threads), seeds, 0.0);
+        prop_assert_eq!(serial, parallel);
+    }
+}

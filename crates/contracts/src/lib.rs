@@ -36,9 +36,9 @@ pub mod effort;
 pub mod lemmas;
 pub mod math;
 pub mod obligation;
+pub mod simctx;
 pub mod verifier;
 
-use std::cell::Cell;
 use std::fmt;
 
 /// How contract checks behave at run time.
@@ -61,7 +61,8 @@ pub enum Mode {
 }
 
 thread_local! {
-    static MODE: Cell<Mode> = const { Cell::new(Mode::Enforce) };
+    // The violation log is rare-path (a push only on contract failure),
+    // so it stays out of the scalar-only `simctx::SimContext` fast lane.
     static VIOLATIONS: std::cell::RefCell<Vec<ContractViolation>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
@@ -107,13 +108,17 @@ impl fmt::Display for ContractViolation {
 impl std::error::Error for ContractViolation {}
 
 /// Returns the current contract-checking mode for this thread.
+///
+/// A single [`simctx::SimContext`] access — this is on the hot path of
+/// every `requires!`/`ensures!`/`invariant!` check.
+#[inline]
 pub fn mode() -> Mode {
-    MODE.with(|m| m.get())
+    simctx::with(|c| c.mode.get())
 }
 
 /// Sets the contract-checking mode for this thread, returning the old mode.
 pub fn set_mode(mode: Mode) -> Mode {
-    MODE.with(|m| m.replace(mode))
+    simctx::with(|c| c.mode.replace(mode))
 }
 
 /// Runs `f` with the given mode, restoring the previous mode afterwards.

@@ -1,0 +1,114 @@
+//! The single simulation-context thread-local — the hot-path fast lane.
+//!
+//! Before the throughput-engine PR, one simulated register write paid up
+//! to five separate thread-local lookups: the trace `ENABLED` flag, the
+//! trace ring cell, the cycle counter, the cycle-accounting flag and the
+//! contract-mode flag — each its own `thread_local!` static with its own
+//! initialization check. [`SimContext`] consolidates every per-thread
+//! simulator *flag and counter* into **one** thread-local struct, so each
+//! event on the hot path (`tt_hw::trace::record`, `tt_hw::cycles::charge`,
+//! a `requires!` check) performs a single TLS access for its check, and
+//! every disabled path is a single flag load off that one pointer.
+//!
+//! The struct is deliberately `Copy`-scalars-only (`Cell`s, no heap
+//! buffers): a thread-local whose payload needs `Drop` glue loses the
+//! const-initialized fast path — every access then goes through the
+//! destructor-registration state machine, which measurably doubles the
+//! cost of a disabled-path flag load. The *buffers* those flags guard
+//! (the trace ring, the §6.2 method records, the violation log) therefore
+//! live in companion thread-locals owned by their layers and are touched
+//! only when the corresponding flag says the feature is on, where the
+//! real work (a ring push, a `Vec` push) dwarfs the second lookup.
+//!
+//! This crate sits at the bottom of the workspace dependency graph, so
+//! the context lives here: contracts keep [`SimContext::mode`] in it,
+//! `tt_hw::cycles` the counter and its flags, `tt_hw::trace` its enabled
+//! flag and current pid.
+//!
+//! Everything stays thread-local by design: the work-stealing pool in
+//! `tt_kernel::pool` relies on worker runs being bit-identical to serial
+//! runs precisely because no simulator state is shared between threads.
+
+use std::cell::Cell;
+
+use crate::Mode;
+
+/// Sentinel pid meaning "no process context" (mirrors
+/// `tt_hw::trace::NO_PID`, which this crate cannot reference).
+pub const NO_PID: u32 = u32::MAX;
+
+/// All per-thread simulator flags and counters, one field per former
+/// `thread_local!` static. Plain-`Copy` cells only — see the module docs
+/// for why no buffer lives here.
+pub struct SimContext {
+    /// Contract-checking mode (`requires!`/`ensures!`/`invariant!`).
+    pub mode: Cell<Mode>,
+    /// The deterministic cycle counter (`tt_hw::cycles`).
+    pub cycles: Cell<u64>,
+    /// Whether cycle accounting is on (default `true`).
+    pub cycles_enabled: Cell<bool>,
+    /// Whether §6.2 per-method cycle recording is on (default `false`).
+    pub recording: Cell<bool>,
+    /// Whether event tracing is on (default `false`).
+    pub trace_enabled: Cell<bool>,
+    /// Process context attributed to low-level trace events.
+    pub current_pid: Cell<u32>,
+}
+
+impl SimContext {
+    const fn new() -> Self {
+        Self {
+            mode: Cell::new(Mode::Enforce),
+            cycles: Cell::new(0),
+            cycles_enabled: Cell::new(true),
+            recording: Cell::new(false),
+            trace_enabled: Cell::new(false),
+            current_pid: Cell::new(NO_PID),
+        }
+    }
+}
+
+thread_local! {
+    static CTX: SimContext = const { SimContext::new() };
+}
+
+/// Runs `f` with this thread's [`SimContext`] — the one TLS access every
+/// hot-path helper makes.
+#[inline]
+pub fn with<R>(f: impl FnOnce(&SimContext) -> R) -> R {
+    CTX.with(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_former_statics() {
+        with(|c| {
+            assert_eq!(c.mode.get(), Mode::Enforce);
+            assert_eq!(c.cycles.get(), 0);
+            assert!(c.cycles_enabled.get());
+            assert!(!c.recording.get());
+            assert!(!c.trace_enabled.get());
+            assert_eq!(c.current_pid.get(), NO_PID);
+        });
+    }
+
+    #[test]
+    fn context_is_thread_local() {
+        with(|c| c.cycles.set(7));
+        std::thread::spawn(|| {
+            with(|c| {
+                assert_eq!(c.cycles.get(), 0, "fresh thread, fresh context");
+                c.cycles.set(99);
+            });
+        })
+        .join()
+        .unwrap();
+        with(|c| {
+            assert_eq!(c.cycles.get(), 7);
+            c.cycles.set(0);
+        });
+    }
+}

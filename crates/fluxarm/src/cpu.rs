@@ -365,6 +365,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // the alignment check is a debug_assert
     #[should_panic(expected = "unaligned")]
     fn unaligned_word_write_asserts() {
         let mut m = Memory::new();

@@ -13,7 +13,7 @@
 //! hardware divide worst case, and slower MMIO writes to the MPU's
 //! peripheral bus.
 
-use std::cell::Cell;
+use tt_contracts::simctx;
 
 /// Cycle cost of one primitive operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,40 +58,45 @@ impl Cost {
     }
 }
 
-thread_local! {
-    static CYCLES: Cell<u64> = const { Cell::new(0) };
-    static ENABLED: Cell<bool> = const { Cell::new(true) };
-}
-
 /// Charges one primitive to the thread-local cycle counter.
+///
+/// One [`simctx::SimContext`] access: the enable flag and the counter
+/// live in the same thread-local struct, so the disabled path is a
+/// single flag load.
 #[inline]
 pub fn charge(cost: Cost) {
-    if ENABLED.with(|e| e.get()) {
-        CYCLES.with(|c| c.set(c.get().wrapping_add(cost.cycles())));
-    }
+    simctx::with(|c| {
+        if c.cycles_enabled.get() {
+            c.cycles.set(c.cycles.get().wrapping_add(cost.cycles()));
+        }
+    });
 }
 
 /// Charges `n` repetitions of a primitive.
 #[inline]
 pub fn charge_n(cost: Cost, n: u64) {
-    if ENABLED.with(|e| e.get()) {
-        CYCLES.with(|c| c.set(c.get().wrapping_add(cost.cycles().wrapping_mul(n))));
-    }
+    simctx::with(|c| {
+        if c.cycles_enabled.get() {
+            c.cycles
+                .set(c.cycles.get().wrapping_add(cost.cycles().wrapping_mul(n)));
+        }
+    });
 }
 
 /// Returns the current cycle count.
+#[inline]
 pub fn now() -> u64 {
-    CYCLES.with(|c| c.get())
+    simctx::with(|c| c.cycles.get())
 }
 
 /// Resets the counter to zero.
 pub fn reset() {
-    CYCLES.with(|c| c.set(0));
+    simctx::with(|c| c.cycles.set(0));
 }
 
 /// Enables or disables accounting (returns the previous state).
 pub fn set_enabled(enabled: bool) -> bool {
-    ENABLED.with(|e| e.replace(enabled))
+    simctx::with(|c| c.cycles_enabled.replace(enabled))
 }
 
 /// Measures the cycles charged while running `f`.
@@ -104,10 +109,32 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
     (value, now() - start)
 }
 
+/// Capacity reserved for the per-method record buffer the first time
+/// recording is enabled on a thread: one Fig. 11 run of the 21 release
+/// tests plus the stress workload records a few thousand spans, so this
+/// never grows in steady state.
+const METHOD_RECORD_CAPACITY: usize = 8_192;
+
 thread_local! {
-    static METHOD_RECORDS: std::cell::RefCell<Vec<(&'static str, u64)>> =
-        const { std::cell::RefCell::new(Vec::new()) };
-    static RECORDING: Cell<bool> = const { Cell::new(false) };
+    // The record buffer cannot join the scalar-only `SimContext`; it is
+    // wrapped in `ManuallyDrop` so the thread-local carries no `Drop`
+    // glue and keeps the const-init fast access path (see
+    // `tt_hw::trace::RING` for the full rationale). Threads release the
+    // storage explicitly via [`release_thread_buffers`]; the pool
+    // workers in `tt_kernel::pool` do so before exiting.
+    static METHOD_RECORDS: std::cell::RefCell<std::mem::ManuallyDrop<Vec<(&'static str, u64)>>> =
+        const { std::cell::RefCell::new(std::mem::ManuallyDrop::new(Vec::new())) };
+}
+
+/// Frees this thread's method-record buffer. Long-lived threads that
+/// enabled recording should call this before exiting; the work-stealing
+/// pool workers do. Pending records are discarded.
+pub fn release_thread_buffers() {
+    METHOD_RECORDS.with(|m| {
+        // Assigning a fresh `Vec` drops the old buffer normally —
+        // `ManuallyDrop` only suppresses the (never-run) TLS destructor.
+        **m.borrow_mut() = Vec::new();
+    });
 }
 
 /// Enables or disables per-method cycle recording (returns previous state).
@@ -115,13 +142,27 @@ thread_local! {
 /// This is the reproduction of the paper's §6.2 instrumentation: "we
 /// instrumented key methods implemented by the TickTock and Tock process
 /// abstractions to count the number of CPU cycles spent in each".
+/// Enabling pre-sizes the record buffer so steady-state recording never
+/// reallocates.
 pub fn set_recording(enabled: bool) -> bool {
-    RECORDING.with(|r| r.replace(enabled))
+    if enabled {
+        METHOD_RECORDS.with(|m| {
+            let mut records = m.borrow_mut();
+            let len = records.len();
+            if records.capacity() < METHOD_RECORD_CAPACITY {
+                records.reserve(METHOD_RECORD_CAPACITY - len);
+            }
+        });
+    }
+    simctx::with(|c| c.recording.replace(enabled))
 }
 
-/// Records one timed invocation of an instrumented method.
+/// Records one timed invocation of an instrumented method. A single
+/// [`simctx::SimContext`] flag load when recording is off; the buffer is
+/// touched only when it is on.
+#[inline]
 pub fn record_method(name: &'static str, cycles: u64) {
-    if RECORDING.with(|r| r.get()) {
+    if simctx::with(|c| c.recording.get()) {
         METHOD_RECORDS.with(|m| m.borrow_mut().push((name, cycles)));
     }
 }
@@ -134,8 +175,18 @@ pub fn instrument<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
 }
 
 /// Drains the per-method records collected on this thread.
+///
+/// The thread-local buffer keeps its capacity (it is cleared, not
+/// `mem::take`n), so repeated instrumented runs on one thread reuse one
+/// allocation instead of re-growing the buffer every run — the same
+/// reuse discipline as `CortexMpu::drain_write_order`.
 pub fn take_method_records() -> Vec<(&'static str, u64)> {
-    METHOD_RECORDS.with(|m| std::mem::take(&mut *m.borrow_mut()))
+    METHOD_RECORDS.with(|m| {
+        let mut records = m.borrow_mut();
+        let out = records.to_vec();
+        records.clear();
+        out
+    })
 }
 
 /// A running mean over benchmark samples, as the paper reports ("average of

@@ -7,17 +7,22 @@
 //! step, so the oracle can report the first divergent event instead.
 //!
 //! Like [`crate::cycles`], the sink is thread-local so parallel tests do
-//! not interfere. Recording is zero-allocation in steady state: the
-//! buffer is allocated once at [`enable`] and events are `Copy`; when the
-//! ring is full the oldest event is overwritten and a drop counter is
-//! bumped. When tracing is disabled (the default), [`record`] is a single
-//! thread-local flag check.
+//! not interfere — both live in the single
+//! [`tt_contracts::simctx::SimContext`] thread-local, so [`record`] is
+//! **one** TLS access per event and a single flag load when tracing is
+//! disabled (the default). Recording is zero-allocation in steady state:
+//! the buffer is allocated once at [`enable`], retained across
+//! enable/disable cycles, and events are `Copy`; when the ring is full
+//! the oldest event is overwritten and a drop counter is bumped. Drained
+//! event buffers can be handed back with [`recycle`] so a long campaign
+//! of enable/record/[`take`] runs on one thread settles into zero
+//! allocations per run.
 //!
 //! Crucially, tracing never calls into [`crate::cycles`]: enabling a
 //! trace must not perturb the cycle-accurate cost model that Fig. 11/12
 //! experiments depend on.
 
-use std::cell::{Cell, RefCell};
+use tt_contracts::simctx;
 
 /// Which hardware register a [`TraceEvent::RegWrite`] hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -227,116 +232,205 @@ pub struct Trace {
 }
 
 struct Ring {
+    /// Storage, kept sized to exactly `capacity` (pre-filled at
+    /// [`Ring::reset`]) so [`Ring::push`] is always one indexed store —
+    /// no `Vec::push` length bookkeeping, no fill-vs-wrap branch.
     buf: Vec<TraceEvent>,
     capacity: usize,
-    /// Index of the oldest live event.
-    head: usize,
+    /// Next slot to write. The oldest live event sits `len` slots behind
+    /// it (mod `capacity`).
+    write: usize,
     /// Number of live events (≤ capacity).
     len: usize,
     dropped: u64,
+    /// A drained event buffer handed back via [`recycle`], reused by the
+    /// next [`Ring::drain`] so steady-state take() allocates nothing.
+    spare: Vec<TraceEvent>,
 }
 
+/// Placeholder event pre-filling ring slots that have not been written
+/// yet; never observable through [`Ring::drain`] (which copies only the
+/// `len` live slots).
+const FILL_EVENT: TraceEvent = TraceEvent::ProcessLoad { pid: NO_PID };
+
 impl Ring {
-    fn new(capacity: usize) -> Self {
-        Self {
-            buf: Vec::with_capacity(capacity),
-            capacity,
-            head: 0,
-            len: 0,
-            dropped: 0,
+    /// Re-arms the ring for a new run, reusing the existing storage when
+    /// the capacity is unchanged (the common campaign case: every run
+    /// asks for the same capacity).
+    fn reset(&mut self, capacity: usize) {
+        if capacity != self.buf.len() {
+            self.buf.clear();
+            self.buf.resize(capacity, FILL_EVENT);
         }
+        self.capacity = capacity;
+        self.write = 0;
+        self.len = 0;
+        self.dropped = 0;
     }
 
+    #[inline]
     fn push(&mut self, ev: TraceEvent) {
         if self.capacity == 0 {
             self.dropped += 1;
             return;
         }
-        if self.buf.len() < self.capacity {
-            // Still filling the preallocated storage: no reallocation
-            // happens because `buf` was created `with_capacity(capacity)`.
-            self.buf.push(ev);
-            self.len += 1;
+        // One indexed store plus a branchy wrap: capacity need not be a
+        // power of two, and `%` is an integer divide on the hot path.
+        self.buf[self.write] = ev;
+        self.write += 1;
+        if self.write == self.capacity {
+            self.write = 0;
+        }
+        if self.len == self.capacity {
+            self.dropped += 1;
         } else {
-            let slot = (self.head + self.len) % self.capacity;
-            self.buf[slot] = ev;
-            if self.len == self.capacity {
-                self.head = (self.head + 1) % self.capacity;
-                self.dropped += 1;
-            } else {
-                self.len += 1;
-            }
+            self.len += 1;
         }
     }
 
     fn drain(&mut self) -> Trace {
-        let mut events = Vec::with_capacity(self.len);
-        for i in 0..self.len {
-            events.push(self.buf[(self.head + i) % self.capacity]);
+        // Reuse a recycled buffer when one is parked, and copy the live
+        // region out as (at most) two contiguous slices instead of an
+        // element-by-element modulo walk.
+        let mut events = std::mem::take(&mut self.spare);
+        events.clear();
+        events.reserve(self.len);
+        let head = if self.write >= self.len {
+            self.write - self.len
+        } else {
+            self.write + self.capacity - self.len
+        };
+        let end = head + self.len;
+        if end <= self.capacity {
+            events.extend_from_slice(&self.buf[head..end]);
+        } else {
+            events.extend_from_slice(&self.buf[head..self.capacity]);
+            events.extend_from_slice(&self.buf[..end - self.capacity]);
         }
         let dropped = self.dropped;
-        self.head = 0;
+        self.write = 0;
         self.len = 0;
-        self.buf.clear();
         self.dropped = 0;
         Trace { events, dropped }
     }
 }
 
 thread_local! {
-    static ENABLED: Cell<bool> = const { Cell::new(false) };
-    static RING: RefCell<Option<Ring>> = const { RefCell::new(None) };
-    static CURRENT_PID: Cell<u32> = const { Cell::new(NO_PID) };
+    // The ring lives in its own cell (its `Vec`s cannot join the
+    // scalar-only `SimContext`), wrapped in `ManuallyDrop` so the
+    // thread-local carries no `Drop` glue: a payload with a destructor
+    // forces every access through the registration state machine, which
+    // measurably slows the per-event path. The cost of the trade is that
+    // a thread which traced and never calls [`release_thread_buffers`]
+    // leaks its ring storage at thread exit — bounded by one ring per
+    // thread, freed explicitly by the `tt_kernel::pool` workers, and
+    // reclaimed at process exit everywhere else.
+    static RING: std::cell::RefCell<std::mem::ManuallyDrop<Ring>> = const {
+        std::cell::RefCell::new(std::mem::ManuallyDrop::new(Ring {
+            buf: Vec::new(),
+            capacity: 0,
+            write: 0,
+            len: 0,
+            dropped: 0,
+            spare: Vec::new(),
+        }))
+    };
 }
 
-/// Starts tracing on this thread with a ring of `capacity` events,
-/// discarding any previously recorded events.
-pub fn enable(capacity: usize) {
-    RING.with(|r| *r.borrow_mut() = Some(Ring::new(capacity)));
-    ENABLED.with(|e| e.set(true));
-}
-
-/// Stops tracing and frees the ring. Events not yet [`take`]n are lost.
-pub fn disable() {
-    ENABLED.with(|e| e.set(false));
-    RING.with(|r| *r.borrow_mut() = None);
-    CURRENT_PID.with(|p| p.set(NO_PID));
-}
-
-/// Returns `true` if tracing is enabled on this thread.
-pub fn is_enabled() -> bool {
-    ENABLED.with(|e| e.get())
-}
-
-/// Records one event. A no-op (one flag check) when tracing is disabled.
-#[inline]
-pub fn record(ev: TraceEvent) {
-    if !is_enabled() {
-        return;
-    }
+/// Frees this thread's ring storage (both the live buffer and the
+/// [`recycle`] spare). Long-lived threads that traced should call this
+/// before exiting; the work-stealing pool workers do. Tracing state is
+/// reset to disabled-with-zero-capacity; a later [`enable`] starts from
+/// a fresh allocation.
+pub fn release_thread_buffers() {
     RING.with(|r| {
-        if let Some(ring) = r.borrow_mut().as_mut() {
-            ring.push(ev);
-        }
+        // Assigning a fresh empty ring drops the old buffers normally —
+        // `ManuallyDrop` only suppresses the (never-run) TLS destructor.
+        **r.borrow_mut() = Ring {
+            buf: Vec::new(),
+            capacity: 0,
+            write: 0,
+            len: 0,
+            dropped: 0,
+            spare: Vec::new(),
+        };
     });
 }
 
+/// Starts tracing on this thread with a ring of `capacity` events,
+/// discarding any previously recorded events. The ring storage from an
+/// earlier enable/disable cycle on this thread is reused, so re-enabling
+/// with the same (or smaller) capacity allocates nothing.
+pub fn enable(capacity: usize) {
+    RING.with(|r| r.borrow_mut().reset(capacity));
+    simctx::with(|c| c.trace_enabled.set(true));
+}
+
+/// Stops tracing. Events not yet [`take`]n are lost; the ring storage is
+/// retained (cleared) so a later [`enable`] on this thread reuses it.
+pub fn disable() {
+    simctx::with(|c| {
+        c.trace_enabled.set(false);
+        c.current_pid.set(NO_PID);
+    });
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        let capacity = ring.capacity;
+        ring.reset(capacity);
+    });
+}
+
+/// Returns `true` if tracing is enabled on this thread.
+#[inline]
+pub fn is_enabled() -> bool {
+    simctx::with(|c| c.trace_enabled.get())
+}
+
+/// Records one event. The disabled path (the default) is a single
+/// [`simctx::SimContext`] flag load; the ring is touched only when
+/// tracing is on.
+#[inline]
+pub fn record(ev: TraceEvent) {
+    if simctx::with(|c| c.trace_enabled.get()) {
+        RING.with(|r| r.borrow_mut().push(ev));
+    }
+}
+
 /// Drains the recorded events (oldest first), leaving tracing enabled
-/// with an empty ring.
+/// with an empty ring. The returned buffer comes from the [`recycle`]
+/// pool when one is available.
 pub fn take() -> Trace {
-    RING.with(|r| r.borrow_mut().as_mut().map(Ring::drain).unwrap_or_default())
+    RING.with(|r| r.borrow_mut().drain())
+}
+
+/// Hands a drained [`Trace`]'s event buffer back for reuse by the next
+/// [`take`] on this thread. Callers that fully consume a trace before
+/// the next run (the campaign workers do) get allocation-free
+/// enable/record/take cycles; traces that outlive the run are simply
+/// dropped instead.
+pub fn recycle(trace: Trace) {
+    let mut events = trace.events;
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        if events.capacity() > ring.spare.capacity() {
+            events.clear();
+            ring.spare = events;
+        }
+    });
 }
 
 /// Sets the process context attributed to subsequent low-level events
 /// (register writes don't know which process they configure; the kernel
 /// tells us). Use [`NO_PID`] for "no process".
+#[inline]
 pub fn set_current_pid(pid: u32) {
-    CURRENT_PID.with(|p| p.set(pid));
+    simctx::with(|c| c.current_pid.set(pid));
 }
 
 /// Returns the process context last set via [`set_current_pid`].
+#[inline]
 pub fn current_pid() -> u32 {
-    CURRENT_PID.with(|p| p.get())
+    simctx::with(|c| c.current_pid.get())
 }
 
 #[cfg(test)]
@@ -429,6 +523,76 @@ mod tests {
         let t = take();
         assert_eq!(t.events, vec![]);
         assert_eq!(t.dropped, 2);
+        disable();
+    }
+
+    #[test]
+    fn reenable_reuses_the_ring_storage() {
+        enable(8);
+        for v in 0..5 {
+            record(ev(v));
+        }
+        disable();
+        // Disable clears pending events but keeps the allocation.
+        enable(8);
+        assert_eq!(take(), Trace::default());
+        record(ev(9));
+        let t = take();
+        assert_eq!(t.events, vec![ev(9)]);
+        assert_eq!(t.dropped, 0);
+        disable();
+    }
+
+    #[test]
+    fn recycle_feeds_the_next_take() {
+        enable(16);
+        for v in 0..10 {
+            record(ev(v));
+        }
+        let t = take();
+        let ptr = t.events.as_ptr();
+        let cap = t.events.capacity();
+        recycle(t);
+        for v in 10..14 {
+            record(ev(v));
+        }
+        let t2 = take();
+        assert_eq!(t2.events, (10..14).map(ev).collect::<Vec<_>>());
+        // The recycled buffer (same allocation) backs the second trace.
+        assert_eq!(t2.events.as_ptr(), ptr);
+        assert_eq!(t2.events.capacity(), cap);
+        disable();
+    }
+
+    #[test]
+    fn recycle_on_a_fresh_thread_does_not_enable_tracing() {
+        std::thread::spawn(|| {
+            recycle(Trace {
+                events: vec![ev(1)],
+                dropped: 0,
+            });
+            assert!(!is_enabled());
+            record(ev(2));
+            assert_eq!(take(), Trace::default());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn enable_with_larger_capacity_grows_the_reused_ring() {
+        enable(2);
+        for v in 0..5 {
+            record(ev(v));
+        }
+        disable();
+        enable(4);
+        for v in 0..5 {
+            record(ev(v));
+        }
+        let t = take();
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.events, (1..5).map(ev).collect::<Vec<_>>());
         disable();
     }
 

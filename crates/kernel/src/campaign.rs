@@ -18,6 +18,7 @@
 use crate::capsules::driver;
 use crate::kernel::{App, AppFactory, FaultPolicy, Kernel, Step};
 use crate::loader::flash_app;
+use crate::pool;
 use crate::process::{Flavor, ProcessState};
 use crate::trace::{normalize, normalize_for_pid, render_event, Trace, TraceEvent, TraceScope};
 use tt_contracts::{take_violations, with_mode, Mode};
@@ -334,9 +335,86 @@ fn validate_run(
     }
 }
 
-/// Runs `seeds` injection runs (plus one reference and a cold-cache
-/// pass) against one chip.
-pub fn run_chip_campaign(chip: &ChipProfile, seeds: u64) -> ChipReport {
+/// The uninjected reference for one chip, reduced to what the oracle
+/// needs: the normalized observable traces (shared read-only by every
+/// unit of that chip) plus the reference run's own health checks. One
+/// reference serves both cache modes — observable traces are
+/// cache-independent, so the warm and cold passes validate against the
+/// same baseline (as the serial campaign always has).
+struct ChipReference {
+    violations: Vec<String>,
+    states: Vec<ProcessState>,
+    by_pid: Vec<Vec<TraceEvent>>,
+    full: Vec<TraceEvent>,
+}
+
+fn chip_reference(chip: &ChipProfile) -> ChipReference {
+    let reference = run_one(chip, None);
+    let by_pid = (0..BYSTANDERS)
+        .map(|b| {
+            normalize_for_pid(
+                &reference.trace.events,
+                TraceScope::Observable,
+                (VICTIM + 1 + b) as u32,
+            )
+        })
+        .collect();
+    let full = normalize(&reference.trace.events, TraceScope::Observable);
+    let out = ChipReference {
+        violations: reference.violations,
+        states: reference.states,
+        by_pid,
+        full,
+    };
+    trace::recycle(reference.trace);
+    out
+}
+
+/// One scheduled unit of campaign work: chip index, seed, cache mode.
+type Unit = (usize, u64, bool);
+
+/// What one injected run reduces to before the ordered merge.
+struct UnitResult {
+    failures: Vec<String>,
+    fired: u64,
+    recoveries: u32,
+    restarts: u32,
+    killed: bool,
+    recovery_cycles: u64,
+}
+
+fn run_unit(chip: &ChipProfile, seed: u64, cold: bool, reference: &ChipReference) -> UnitResult {
+    let run = if cold {
+        // Cold pass: same seed with the commit cache disabled. Observable
+        // traces are cache-independent, so the same oracle applies.
+        tt_hw::commit_cache::with_disabled(|| run_one(chip, Some(seed)))
+    } else {
+        // Warm pass: commit cache enabled (the production configuration).
+        run_one(chip, Some(seed))
+    };
+    let mut failures = Vec::new();
+    validate_run(
+        chip,
+        &run,
+        &reference.by_pid,
+        &reference.full,
+        &mut failures,
+    );
+    let result = UnitResult {
+        failures,
+        fired: run.fired,
+        recoveries: run.recoveries,
+        restarts: run.restarts,
+        killed: run.states[VICTIM] == ProcessState::Killed,
+        recovery_cycles: run.recovery_cycles,
+    };
+    // Hand the drained event buffer back to this worker's ring: the next
+    // run on this thread then records without allocating.
+    trace::recycle(run.trace);
+    result
+}
+
+fn reference_report(chip: &ChipProfile, reference: &ChipReference) -> ChipReport {
     let mut report = ChipReport {
         chip: chip.name,
         runs: 0,
@@ -350,7 +428,6 @@ pub fn run_chip_campaign(chip: &ChipProfile, seeds: u64) -> ChipReport {
         cold_cycles: 0,
         cold_recoveries: 0,
     };
-    let reference = run_one(chip, None);
     for v in &reference.violations {
         report
             .failures
@@ -362,61 +439,81 @@ pub fn run_chip_campaign(chip: &ChipProfile, seeds: u64) -> ChipReport {
             chip.name, reference.states
         ));
     }
-    let reference_by_pid: Vec<Vec<TraceEvent>> = (0..BYSTANDERS)
-        .map(|b| {
-            normalize_for_pid(
-                &reference.trace.events,
-                TraceScope::Observable,
-                (VICTIM + 1 + b) as u32,
-            )
-        })
-        .collect();
-    let reference_full = normalize(&reference.trace.events, TraceScope::Observable);
-    for seed in 0..seeds {
-        // Warm pass: commit cache enabled (the production configuration).
-        let run = run_one(chip, Some(seed));
-        validate_run(
-            chip,
-            &run,
-            &reference_by_pid,
-            &reference_full,
-            &mut report.failures,
-        );
-        report.runs += 1;
-        report.fired += run.fired;
-        report.recoveries += u64::from(run.recoveries);
-        report.restarts += u64::from(run.restarts);
-        report.killed += u64::from(run.states[VICTIM] == ProcessState::Killed);
-        report.warm_cycles += run.recovery_cycles;
-        report.warm_recoveries += u64::from(run.recoveries);
-        // Cold pass: same seed with the commit cache disabled. Observable
-        // traces are cache-independent, so the same oracle applies.
-        let cold = tt_hw::commit_cache::with_disabled(|| run_one(chip, Some(seed)));
-        validate_run(
-            chip,
-            &cold,
-            &reference_by_pid,
-            &reference_full,
-            &mut report.failures,
-        );
-        report.cold_cycles += cold.recovery_cycles;
-        report.cold_recoveries += u64::from(cold.recoveries);
-    }
     report
 }
 
-/// Runs the campaign on all seven chips, fanned over worker threads
-/// (every sink the runs touch is thread-local, so parallel results are
-/// bit-identical to serial ones).
-pub fn run_campaign(seeds: u64) -> Vec<ChipReport> {
-    let chips = &ALL_CHIPS;
-    let mut slots: Vec<Option<ChipReport>> = (0..chips.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot, chip) in slots.iter_mut().zip(chips.iter()) {
-            scope.spawn(move || *slot = Some(run_chip_campaign(chip, seeds)));
+/// Runs the campaign over any chip slice on a work-stealing pool of
+/// `threads` workers ([`crate::pool::run_indexed`]). The unit of work is
+/// a single `(chip, seed, warm/cold)` run — not a whole chip — so cores
+/// stay busy through the tail of the campaign. Results merge in unit
+/// order (chip-major, then seed, warm before cold), which is exactly the
+/// serial execution order: the returned reports — failure strings
+/// included — are byte-identical for any thread count.
+pub fn run_campaign_on(chips: &[ChipProfile], seeds: u64, threads: usize) -> Vec<ChipReport> {
+    // Phase 1: one uninjected reference per chip, computed once and
+    // shared read-only by every unit of that chip (the old per-chip
+    // runner recomputed nothing either, but ran references serially
+    // inside each chip thread; here they fan out too).
+    let references: Vec<ChipReference> =
+        pool::run_indexed(chips, threads, |_, chip| chip_reference(chip));
+    // Phase 2: every (chip, seed, cache-mode) run as its own unit.
+    let mut units: Vec<Unit> = Vec::with_capacity(chips.len() * (seeds as usize) * 2);
+    for c in 0..chips.len() {
+        for seed in 0..seeds {
+            units.push((c, seed, false));
+            units.push((c, seed, true));
         }
+    }
+    let refs = &references;
+    let results = pool::run_indexed(&units, threads, |_, &(c, seed, cold)| {
+        run_unit(&chips[c], seed, cold, &refs[c])
     });
-    slots.into_iter().map(|s| s.expect("chip report")).collect()
+    // Ordered merge: reference checks first (as the serial runner
+    // reported them), then each unit's failures and tallies in schedule
+    // order.
+    let mut reports: Vec<ChipReport> = chips
+        .iter()
+        .zip(refs)
+        .map(|(chip, r)| reference_report(chip, r))
+        .collect();
+    for (&(c, _, cold), unit) in units.iter().zip(results) {
+        let report = &mut reports[c];
+        report.failures.extend(unit.failures);
+        if cold {
+            report.cold_cycles += unit.recovery_cycles;
+            report.cold_recoveries += u64::from(unit.recoveries);
+        } else {
+            report.runs += 1;
+            report.fired += unit.fired;
+            report.recoveries += u64::from(unit.recoveries);
+            report.restarts += u64::from(unit.restarts);
+            report.killed += u64::from(unit.killed);
+            report.warm_cycles += unit.recovery_cycles;
+            report.warm_recoveries += u64::from(unit.recoveries);
+        }
+    }
+    reports
+}
+
+/// Runs `seeds` injection runs (plus one reference and a cold-cache
+/// pass) against one chip, serially on the calling thread.
+pub fn run_chip_campaign(chip: &ChipProfile, seeds: u64) -> ChipReport {
+    run_campaign_on(std::slice::from_ref(chip), seeds, 1)
+        .pop()
+        .expect("one chip, one report")
+}
+
+/// Runs the campaign on all seven chips over the work-stealing pool
+/// sized by [`pool::default_threads`] (`TT_BENCH_THREADS` or the
+/// machine's available parallelism).
+pub fn run_campaign(seeds: u64) -> Vec<ChipReport> {
+    run_campaign_with_threads(seeds, pool::default_threads())
+}
+
+/// [`run_campaign`] with an explicit worker count (1 = serial). Reports
+/// are byte-identical across thread counts.
+pub fn run_campaign_with_threads(seeds: u64, threads: usize) -> Vec<ChipReport> {
+    run_campaign_on(&ALL_CHIPS, seeds, threads)
 }
 
 /// Renders the campaign table plus any failures.
@@ -486,6 +583,20 @@ mod tests {
     fn pmp_campaign_smoke_holds_the_oracle() {
         let report = run_chip_campaign(&HIFIVE1, 3);
         assert!(report.failures.is_empty(), "{:#?}", report.failures);
+    }
+
+    #[test]
+    fn parallel_campaign_report_is_byte_identical_to_serial() {
+        let chips = [NRF52840DK, HIFIVE1];
+        let serial = run_campaign_on(&chips, 3, 1);
+        for threads in [2, 8] {
+            let parallel = run_campaign_on(&chips, 3, threads);
+            assert_eq!(
+                render_report(&serial, 3),
+                render_report(&parallel, 3),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

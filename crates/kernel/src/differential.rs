@@ -129,15 +129,7 @@ pub fn run_release_suite() -> Vec<DiffResult> {
 /// Worker count for the parallel suite runners: `TT_BENCH_THREADS` if set
 /// to a positive integer, otherwise the machine's available parallelism.
 pub fn suite_threads() -> usize {
-    std::env::var("TT_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    crate::pool::default_threads()
 }
 
 fn diff_one(test: &ReleaseTest, chip: &ChipProfile) -> DiffResult {
@@ -155,54 +147,46 @@ pub fn run_release_suite_on(chip: &ChipProfile) -> Vec<DiffResult> {
     run_release_suite_on_with_threads(chip, suite_threads())
 }
 
-/// Runs the release suite on `threads` worker threads (1 = the serial
-/// path). Every cycle/trace/cache sink is thread-local by design, so each
-/// worker's runs are bit-identical to a serial run of the same tests, and
-/// results are reassembled in test order — the parallel runner's report
-/// is byte-identical to the serial one.
+/// Runs the release suite on a work-stealing pool of `threads` workers
+/// (1 = the serial path); see [`crate::pool::run_indexed`]. Every
+/// cycle/trace/cache sink is thread-local by design, so each worker's
+/// runs are bit-identical to a serial run of the same tests, and results
+/// are reassembled in test order — the parallel runner's report is
+/// byte-identical to the serial one.
 pub fn run_release_suite_on_with_threads(chip: &ChipProfile, threads: usize) -> Vec<DiffResult> {
     let tests = release_tests();
-    if threads <= 1 {
-        return tests.iter().map(|test| diff_one(test, chip)).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let collected = std::sync::Mutex::new(Vec::with_capacity(tests.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(tests.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(test) = tests.get(i) else {
-                    break;
-                };
-                let result = diff_one(test, chip);
-                collected.lock().unwrap().push((i, result));
-            });
-        }
-    });
-    let mut indexed = collected.into_inner().unwrap();
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    crate::pool::run_indexed(&tests, threads, |_, test| diff_one(test, chip))
 }
 
-/// Runs the release suite on every supported chip profile, fanning the
-/// chips out over scoped threads (each chip's per-test loop stays serial
-/// inside its worker; the thread-local sinks keep runs independent).
-/// Returns `(chip, results)` in [`tt_hw::platform::ALL_CHIPS`] order.
+/// Runs the release suite on every supported chip profile over the
+/// work-stealing pool sized by [`suite_threads`]. Returns
+/// `(chip, results)` in [`tt_hw::platform::ALL_CHIPS`] order.
 pub fn run_release_suite_all_chips() -> Vec<(&'static ChipProfile, Vec<DiffResult>)> {
+    run_release_suite_all_chips_with_threads(suite_threads())
+}
+
+/// [`run_release_suite_all_chips`] with an explicit worker count. The
+/// unit of work is a single `(chip, test)` diff — not a whole chip — so
+/// the tail of the suite keeps every core busy; results are chunked back
+/// into per-chip vectors in test order, byte-identical to serial.
+pub fn run_release_suite_all_chips_with_threads(
+    threads: usize,
+) -> Vec<(&'static ChipProfile, Vec<DiffResult>)> {
     let chips = &tt_hw::platform::ALL_CHIPS;
-    let mut slots: Vec<Option<Vec<DiffResult>>> = (0..chips.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (chip, slot) in chips.iter().zip(slots.iter_mut()) {
-            scope.spawn(move || {
-                *slot = Some(run_release_suite_on_with_threads(chip, 1));
-            });
-        }
-    });
-    chips
-        .iter()
-        .zip(slots)
-        .map(|(chip, results)| (chip, results.expect("chip suite completed")))
-        .collect()
+    let tests = release_tests();
+    let units: Vec<(usize, usize)> = (0..chips.len())
+        .flat_map(|c| (0..tests.len()).map(move |t| (c, t)))
+        .collect();
+    let tests = &tests;
+    let mut results =
+        crate::pool::run_indexed(&units, threads, |_, &(c, t)| diff_one(&tests[t], &chips[c]));
+    let mut out = Vec::with_capacity(chips.len());
+    for chip in chips.iter().rev() {
+        let rest = results.split_off(results.len() - tests.len());
+        out.push((chip, rest));
+    }
+    out.reverse();
+    out
 }
 
 /// Renders the §6.1 summary table.

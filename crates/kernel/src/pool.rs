@@ -1,0 +1,185 @@
+//! A work-stealing worker pool for embarrassingly parallel simulation.
+//!
+//! The campaign runner, the differential suite and the Fig. 11 harness
+//! all fan out the same shape of work: a list of independent simulation
+//! units (one `(chip, seed)` run, one `(chip, test)` diff) whose results
+//! must be reassembled *in input order* so every report is byte-identical
+//! to a serial run. Before this pool each caller hand-rolled its own
+//! fan-out (one scoped thread per chip), which bounded the speedup by the
+//! slowest chip and left cores idle at the tail. [`run_indexed`] replaces
+//! those with one shared scheme:
+//!
+//! * Each worker owns a deque seeded round-robin with unit indices; it
+//!   pops its own work from the front and, when empty, steals from the
+//!   *back* of a sibling's deque (classic Chase–Lev shape, mutex-guarded
+//!   — contention is one lock op per unit, and a unit is a whole kernel
+//!   run, so the lock is invisible in profiles).
+//! * Workers return `(index, result)` pairs; the pool sorts the merged
+//!   vector by index. Determinism does not depend on scheduling: every
+//!   simulator sink (cycle counter, trace ring, commit-cache stats,
+//!   contract mode, injection engine) is thread-local, so a unit's result
+//!   is bit-identical no matter which worker runs it or in what order —
+//!   the ordered merge then makes the whole-run output byte-identical to
+//!   `threads = 1`.
+//! * `threads <= 1` (or a single unit) short-circuits to a plain serial
+//!   loop on the calling thread: the serial path *is* the reference
+//!   semantics, not a special case.
+//!
+//! Workers release their thread-local trace/record buffers on exit (see
+//! `tt_hw::trace::release_thread_buffers`), so a pool invocation leaks
+//! nothing even though those buffers live in no-`Drop`-glue TLS cells.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Worker count used when the caller does not pin one: `TT_BENCH_THREADS`
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("TT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Pops the next unit index for worker `w`: its own deque first (front),
+/// then a steal sweep over the siblings (back).
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("pool queue").pop_front() {
+        return Some(i);
+    }
+    for off in 1..queues.len() {
+        let q = (w + off) % queues.len();
+        if let Some(i) = queues[q].lock().expect("pool queue").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Runs `f(index, &items[index])` for every item on a work-stealing pool
+/// of `threads` workers and returns the results **in item order**.
+///
+/// With `threads <= 1` the items run serially on the calling thread. A
+/// panicking unit propagates the panic to the caller after the scope
+/// joins, like the serial loop would.
+pub fn run_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..items.len() {
+        queues[i % workers].lock().expect("pool queue").push_back(i);
+    }
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    while let Some(i) = next_job(queues, w) {
+                        out.push((i, f(i, &items[i])));
+                    }
+                    // The simulator's trace ring and method-record buffer
+                    // live in TLS cells with no destructor; free them
+                    // explicitly so the pool leaks nothing.
+                    tt_hw::trace::release_thread_buffers();
+                    tt_hw::cycles::release_thread_buffers();
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_and_parallel_agree_on_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = run_indexed(&items, 1, |i, &x| (i as u64) * 1_000 + x * x);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run_indexed(&items, threads, |i, &x| (i as u64) * 1_000 + x * x);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert_eq!(run_indexed(&none, 8, |_, &x| x), Vec::<u32>::new());
+        assert_eq!(run_indexed(&[7u32], 8, |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn more_threads_than_items_still_covers_every_item() {
+        let items: Vec<usize> = (0..5).collect();
+        assert_eq!(run_indexed(&items, 32, |_, &x| x + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn thread_local_sim_state_stays_per_worker() {
+        // Each unit charges its own cycle count from a reset counter; a
+        // shared counter would interleave across workers and break this.
+        let items: Vec<u64> = (0..32).collect();
+        let results = run_indexed(&items, 4, |_, &n| {
+            tt_hw::cycles::reset();
+            tt_hw::cycles::charge_n(tt_hw::cycles::Cost::Alu, n);
+            tt_hw::cycles::now()
+        });
+        assert_eq!(results, items);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(&items, 4, |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn results_always_in_input_order(
+            len in 0usize..80,
+            threads in 1usize..12,
+        ) {
+            let items: Vec<usize> = (0..len).collect();
+            let out = run_indexed(&items, threads, |i, &x| (i, x * 3));
+            let expect: Vec<(usize, usize)> =
+                items.iter().map(|&x| (x, x * 3)).collect();
+            prop_assert_eq!(out, expect);
+        }
+    }
+}
