@@ -1,0 +1,128 @@
+//! Fleet campaign gate: snapshot/restore mass fault injection.
+//!
+//! Runs a `--runs N` (default 1000) fleet campaign across all chips on
+//! the snapshot/restore path — boot once per `(chip, cache-mode)` per
+//! worker, dirty-page restore per seed — with the bystander oracle and
+//! contract checks enabled on every run, and prints per-chip tallies,
+//! runs/sec and the measured restore-vs-boot reset cost.
+//!
+//! With `--json [path]`, writes `BENCH_throughput.json` (experiment
+//! `e_fleet`, including `fleet_runs_per_sec` and `restore_speedup`).
+//! With `--check [baseline]` (default `ci/bench_baseline.json`), exits
+//! non-zero if any restored run is not byte-identical to its fresh-boot
+//! twin, if any campaign run fails the oracle, or if the restore-vs-boot
+//! speedup misses the baseline's `min_restore_speedup` floor.
+//!
+//! Failing runs persist as 32-byte corpus records under `--corpus`
+//! (default `ci/corpus/`), and the first few failing seeds are shrunk to
+//! 1-minimal injection schedules for the report.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tt_bench::fleet::{
+    check, equivalence_failures, failing_records, measure_reset_cost, render, render_json,
+    run_fleet, shrink_failures,
+};
+use tt_bench::throughput::host_cores;
+use tt_kernel::corpus::write_corpus;
+use tt_kernel::pool;
+
+/// Reset-cost probe iterations per chip.
+const RESET_COST_ITERS: u32 = 50;
+/// Maximum failing seeds shrunk for the report.
+const SHRINK_LIMIT: usize = 10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let runs: u64 = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_throughput.json".into())
+    });
+    let check_path = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "ci/bench_baseline.json".into())
+    });
+    let corpus_dir = args
+        .iter()
+        .position(|a| a == "--corpus")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "ci/corpus".into());
+
+    let threads = pool::default_threads();
+    let cores = host_cores();
+    println!("Fleet campaign: --runs {runs} on {threads} worker(s) ({cores} core(s))");
+
+    println!("restore-equivalence gate: replaying fresh-boot vs restored runs...");
+    let equivalence = equivalence_failures();
+    for f in &equivalence {
+        eprintln!("EQUIVALENCE FAILED: {f}");
+    }
+
+    let result = run_fleet(runs, threads);
+    let cost = measure_reset_cost(RESET_COST_ITERS);
+    print!("{}", render(&result, &cost));
+
+    let failing = failing_records(&result.outcomes);
+    if !failing.is_empty() {
+        let path = Path::new(&corpus_dir).join("failures.bin");
+        match write_corpus(&path, &failing) {
+            Ok(()) => println!(
+                "wrote {} failing record(s) to {}",
+                failing.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("failed to write corpus {}: {e}", path.display()),
+        }
+        for line in shrink_failures(&result.outcomes, SHRINK_LIMIT) {
+            println!("shrunk: {line}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        let doc = render_json(&result, &cost, &equivalence, cores);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check(&result, &cost, &equivalence, &baseline) {
+            Ok(notes) => {
+                for note in notes {
+                    println!("check: {note}");
+                }
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("FLEET GATE FAILED: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if !equivalence.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

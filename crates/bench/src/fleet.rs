@@ -1,0 +1,507 @@
+//! Fleet campaigns: snapshot/restore-driven mass fault injection.
+//!
+//! PR 5's throughput engine parallelised the campaign but kept its unit
+//! cost: every `(chip, seed, cache-mode)` run paid a full `Kernel::boot`
+//! plus three flash/load cycles just to reach the state the previous run
+//! started from. The fleet path boots each `(chip, cache-mode)` once per
+//! worker, captures a [`tt_kernel::snapshot::MachineSnapshot`], and
+//! resets with a dirty-page restore instead — the per-run reset drops
+//! from a boot to a few copied pages, which is what makes 10^5-run
+//! campaigns a CI job rather than an overnight batch.
+//!
+//! The speedup is only admissible because it is *gated*:
+//! [`equivalence_failures`] demands that restored-machine runs are
+//! byte-identical to fresh-boot runs (Full-scope trace, violations,
+//! terminal states, fired counts) on every chip in both cache modes, and
+//! [`check`] enforces both that gate and a restore-vs-boot speedup floor
+//! (`min_restore_speedup` in `ci/bench_baseline.json`). Failing runs
+//! persist as fixed-width [`CorpusRecord`]s under `ci/corpus/` and their
+//! seeds shrink to 1-minimal schedules for the report.
+
+use std::time::Instant;
+
+use crate::json;
+use tt_hw::platform::{ChipProfile, ALL_CHIPS};
+use tt_kernel::campaign::{
+    boot_probe, run_campaign_detailed, run_one, shrink_failing_seed, ChipReport, FleetRunner,
+    RunRecord, UnitOutcome,
+};
+use tt_kernel::corpus::CorpusRecord;
+
+/// Seeds the equivalence gate replays per `(chip, cache-mode)`:
+/// one uninjected run plus two injected ones.
+const EQUIVALENCE_SEEDS: [Option<u64>; 3] = [None, Some(1), Some(5)];
+
+/// Compares one fresh-boot record against one restored-machine record;
+/// `None` means byte-identical in every gated dimension.
+fn diff_records(
+    chip: &ChipProfile,
+    seed: Option<u64>,
+    cold: bool,
+    fresh: &RunRecord,
+    restored: &RunRecord,
+) -> Option<String> {
+    let tag = |what: &str| {
+        format!(
+            "{} seed {seed:?} {}: {what}",
+            chip.name,
+            if cold { "cold" } else { "warm" }
+        )
+    };
+    if fresh.trace.events != restored.trace.events {
+        let at = fresh
+            .trace
+            .events
+            .iter()
+            .zip(&restored.trace.events)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.trace.events.len().min(restored.trace.events.len()));
+        return Some(tag(&format!(
+            "restored trace diverged at event #{at} ({} vs {} events)",
+            fresh.trace.events.len(),
+            restored.trace.events.len()
+        )));
+    }
+    if fresh.violations != restored.violations {
+        return Some(tag("restored violations differ"));
+    }
+    if fresh.states != restored.states {
+        return Some(tag(&format!(
+            "restored terminal states differ: {:?} vs {:?}",
+            fresh.states, restored.states
+        )));
+    }
+    if fresh.fired != restored.fired {
+        return Some(tag(&format!(
+            "restored fired count differs: {} vs {}",
+            fresh.fired, restored.fired
+        )));
+    }
+    if (fresh.restarts, fresh.recoveries, fresh.recovery_cycles)
+        != (
+            restored.restarts,
+            restored.recoveries,
+            restored.recovery_cycles,
+        )
+    {
+        return Some(tag("restored recovery tallies differ"));
+    }
+    None
+}
+
+/// The restore-equivalence gate: for every chip, both cache modes and
+/// the `EQUIVALENCE_SEEDS`, a restored-machine run must reproduce the
+/// fresh-boot run byte-for-byte. Returns the rendered failures (empty =
+/// gate holds).
+pub fn equivalence_failures() -> Vec<String> {
+    let mut failures = Vec::new();
+    for chip in &ALL_CHIPS {
+        for cold in [false, true] {
+            let run_pair = |seed: Option<u64>| {
+                let (fresh, restored) = if cold {
+                    let fresh = tt_hw::commit_cache::with_disabled(|| run_one(chip, seed));
+                    let restored = tt_hw::commit_cache::with_disabled(|| {
+                        let mut runner = FleetRunner::new(chip);
+                        runner.run_seed(seed)
+                    });
+                    (fresh, restored)
+                } else {
+                    let fresh = run_one(chip, seed);
+                    let mut runner = FleetRunner::new(chip);
+                    (fresh, runner.run_seed(seed))
+                };
+                let diff = diff_records(chip, seed, cold, &fresh, &restored);
+                tt_hw::trace::recycle(fresh.trace);
+                tt_hw::trace::recycle(restored.trace);
+                diff
+            };
+            for seed in EQUIVALENCE_SEEDS {
+                if let Some(f) = run_pair(seed) {
+                    failures.push(f);
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Mean per-run reset cost of the two campaign paths, measured on the
+/// calling thread across all chips.
+#[derive(Debug, Clone, Copy)]
+pub struct ResetCost {
+    /// Mean cost of a fresh campaign boot (flash + load included), µs.
+    pub boot_us: f64,
+    /// Mean cost of a snapshot restore (boot-trace replay included), µs.
+    pub restore_us: f64,
+}
+
+impl ResetCost {
+    /// How many restores fit in one boot.
+    pub fn speedup(&self) -> f64 {
+        self.boot_us / self.restore_us.max(1e-9)
+    }
+}
+
+/// Measures [`ResetCost`] with `iters` boots and `iters` restores per
+/// chip (the first boot per chip also serves as the snapshot source and
+/// is not timed).
+pub fn measure_reset_cost(iters: u32) -> ResetCost {
+    let mut boot_total = 0.0;
+    let mut restore_total = 0.0;
+    let mut samples = 0u64;
+    for chip in &ALL_CHIPS {
+        let mut runner = FleetRunner::new(chip);
+        // Warm both paths once so neither pays first-touch allocation.
+        boot_probe(chip);
+        runner.restore_probe();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            boot_probe(chip);
+        }
+        boot_total += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            runner.restore_probe();
+        }
+        restore_total += t1.elapsed().as_secs_f64();
+        samples += u64::from(iters);
+    }
+    ResetCost {
+        boot_us: boot_total * 1e6 / samples as f64,
+        restore_us: restore_total * 1e6 / samples as f64,
+    }
+}
+
+/// One measured fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Seeds per chip the requested run budget decomposed into.
+    pub seeds_per_chip: u64,
+    /// Worker count.
+    pub threads: usize,
+    /// Injected runs actually executed (chips × seeds × 2 cache modes).
+    pub total_runs: u64,
+    /// Campaign wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Per-chip campaign reports (oracle results included).
+    pub reports: Vec<ChipReport>,
+    /// Per-run outcomes in schedule order.
+    pub outcomes: Vec<UnitOutcome>,
+}
+
+impl FleetResult {
+    /// Campaign throughput in injected runs per second.
+    pub fn runs_per_sec(&self) -> f64 {
+        self.total_runs as f64 / (self.wall_ms / 1e3)
+    }
+
+    /// All oracle failures across chips, in report order.
+    pub fn failures(&self) -> Vec<&String> {
+        self.reports.iter().flat_map(|r| &r.failures).collect()
+    }
+}
+
+/// Runs a fleet campaign sized to roughly `total_runs` injected runs
+/// (rounded down to whole seeds per chip, minimum one).
+pub fn run_fleet(total_runs: u64, threads: usize) -> FleetResult {
+    let per_chip_runs = ALL_CHIPS.len() as u64 * 2;
+    let seeds = (total_runs / per_chip_runs).max(1);
+    let t0 = Instant::now();
+    let (reports, outcomes) = run_campaign_detailed(&ALL_CHIPS, seeds, threads);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    FleetResult {
+        seeds_per_chip: seeds,
+        threads,
+        total_runs: outcomes.len() as u64,
+        wall_ms,
+        reports,
+        outcomes,
+    }
+}
+
+/// Reduces one [`UnitOutcome`] to its fixed-width corpus record.
+pub fn corpus_record(outcome: &UnitOutcome) -> CorpusRecord {
+    CorpusRecord {
+        chip: outcome.chip.min(u8::MAX as usize) as u8,
+        cold: outcome.cold,
+        killed: outcome.killed,
+        seed: outcome.seed,
+        fired: outcome.fired.min(u64::from(u16::MAX)) as u16,
+        restarts: outcome.restarts.min(u32::from(u16::MAX)) as u16,
+        recoveries: outcome.recoveries.min(u32::from(u16::MAX)) as u16,
+        failures: outcome.failures.len().min(u16::MAX as usize) as u16,
+        trace_len: outcome.trace_len.min(u32::MAX as usize) as u32,
+        recovery_cycles: outcome.recovery_cycles,
+    }
+}
+
+/// The corpus of *failing* runs (empty when the oracle held everywhere).
+pub fn failing_records(outcomes: &[UnitOutcome]) -> Vec<CorpusRecord> {
+    outcomes
+        .iter()
+        .filter(|o| !o.failures.is_empty())
+        .map(corpus_record)
+        .collect()
+}
+
+/// Shrinks the first `limit` failing outcomes to 1-minimal schedules,
+/// rendering one line per seed.
+pub fn shrink_failures(outcomes: &[UnitOutcome], limit: usize) -> Vec<String> {
+    outcomes
+        .iter()
+        .filter(|o| !o.failures.is_empty())
+        .take(limit)
+        .map(|o| {
+            let plan = shrink_failing_seed(&ALL_CHIPS[o.chip], o.seed, o.cold);
+            format!(
+                "{} seed {} {}: minimized to {} injection(s): {:?}",
+                ALL_CHIPS[o.chip].name,
+                o.seed,
+                if o.cold { "cold" } else { "warm" },
+                plan.injections.len(),
+                plan.injections
+            )
+        })
+        .collect()
+}
+
+/// Renders the human-readable fleet table: per-chip runs and tallies,
+/// then the throughput and reset-cost lines.
+pub fn render(result: &FleetResult, cost: &ResetCost) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet campaign: {} runs ({} seeds x {} chips x 2 cache modes) on {} worker(s)\n",
+        result.total_runs,
+        result.seeds_per_chip,
+        result.reports.len(),
+        result.threads,
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>8} {:>9} {:>8} {:>7}\n",
+        "chip", "runs", "fired", "recovers", "restarts", "killed"
+    ));
+    for r in &result.reports {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>8} {:>9} {:>8} {:>7}\n",
+            r.chip,
+            r.runs * 2,
+            r.fired,
+            r.recoveries,
+            r.restarts,
+            r.killed,
+        ));
+    }
+    out.push_str(&format!(
+        "throughput: {:.0} runs/sec ({:.1} ms wall)\n",
+        result.runs_per_sec(),
+        result.wall_ms,
+    ));
+    out.push_str(&format!(
+        "reset cost: boot {:.1} us/run, restore {:.1} us/run ({:.1}x)\n",
+        cost.boot_us,
+        cost.restore_us,
+        cost.speedup(),
+    ));
+    let failures = result.failures();
+    if failures.is_empty() {
+        out.push_str("all runs: bystander traces identical, zero violations, converged\n");
+    } else {
+        out.push_str(&format!("{} FAILURES:\n", failures.len()));
+        for f in failures {
+            out.push_str(&format!("  {f}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the `BENCH_throughput.json` document for the fleet job.
+pub fn render_json(
+    result: &FleetResult,
+    cost: &ResetCost,
+    equivalence: &[String],
+    cores: usize,
+) -> String {
+    let mut doc = String::new();
+    doc.push_str("{\n  \"experiment\": \"e_fleet\",\n");
+    doc.push_str(&format!("  \"total_runs\": {},\n", result.total_runs));
+    doc.push_str(&format!(
+        "  \"seeds_per_chip\": {},\n",
+        result.seeds_per_chip
+    ));
+    doc.push_str(&format!("  \"threads\": {},\n", result.threads));
+    doc.push_str(&format!("  \"cores\": {cores},\n"));
+    doc.push_str(&format!("  \"wall_ms\": {},\n", json::num(result.wall_ms)));
+    doc.push_str(&format!(
+        "  \"fleet_runs_per_sec\": {},\n",
+        json::num(result.runs_per_sec())
+    ));
+    doc.push_str(&format!(
+        "  \"boot_us_per_run\": {},\n",
+        json::num(cost.boot_us)
+    ));
+    doc.push_str(&format!(
+        "  \"restore_us_per_run\": {},\n",
+        json::num(cost.restore_us)
+    ));
+    doc.push_str(&format!(
+        "  \"restore_speedup\": {},\n",
+        json::num(cost.speedup())
+    ));
+    doc.push_str(&format!(
+        "  \"restore_equivalent\": {},\n",
+        equivalence.is_empty()
+    ));
+    doc.push_str(&format!("  \"failures\": {},\n", result.failures().len()));
+    doc.push_str("  \"chips\": [\n");
+    for (i, r) in result.reports.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"chip\": \"{}\", \"runs\": {}, \"fired\": {}, \"recoveries\": {}, \
+             \"restarts\": {}, \"killed\": {}}}{}\n",
+            r.chip,
+            r.runs * 2,
+            r.fired,
+            r.recoveries,
+            r.restarts,
+            r.killed,
+            if i + 1 < result.reports.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    doc
+}
+
+/// The CI gate: restore equivalence must hold on every chip, the
+/// campaign oracle must hold on every run, and — when the baseline pins
+/// a `min_restore_speedup` — the measured restore-vs-boot speedup must
+/// clear it. Returns notes on success, failures otherwise.
+pub fn check(
+    result: &FleetResult,
+    cost: &ResetCost,
+    equivalence: &[String],
+    baseline: &str,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut failures = Vec::new();
+    let mut notes = Vec::new();
+    for f in equivalence {
+        failures.push(format!("restore equivalence: {f}"));
+    }
+    if equivalence.is_empty() {
+        notes.push(format!(
+            "restore equivalence: {} chips x 2 cache modes x {} seeds byte-identical",
+            ALL_CHIPS.len(),
+            EQUIVALENCE_SEEDS.len(),
+        ));
+    }
+    for f in result.failures() {
+        failures.push(format!("campaign oracle: {f}"));
+    }
+    if result.failures().is_empty() {
+        notes.push(format!("campaign oracle: {} runs clean", result.total_runs));
+    }
+    match json::read_number(baseline, "min_restore_speedup") {
+        Some(floor) => {
+            let speedup = cost.speedup();
+            if speedup < floor {
+                failures.push(format!(
+                    "restore speedup {speedup:.1}x below floor {floor:.1}x \
+                     (boot {:.1} us vs restore {:.1} us)",
+                    cost.boot_us, cost.restore_us
+                ));
+            } else {
+                notes.push(format!(
+                    "restore speedup: {speedup:.1}x >= floor {floor:.1}x"
+                ));
+            }
+        }
+        None => notes.push("baseline has no min_restore_speedup; floor skipped".into()),
+    }
+    if failures.is_empty() {
+        Ok(notes)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_runs_clean_and_counts_add_up() {
+        let result = run_fleet(28, 1);
+        // 28 requested / (7 chips * 2 modes) = 2 seeds per chip.
+        assert_eq!(result.seeds_per_chip, 2);
+        assert_eq!(result.total_runs, 28);
+        assert_eq!(result.outcomes.len(), 28);
+        assert!(result.failures().is_empty(), "{:#?}", result.failures());
+        assert!(failing_records(&result.outcomes).is_empty());
+        // Every outcome reduces to a decodable corpus record.
+        for o in &result.outcomes {
+            let rec = corpus_record(o);
+            assert_eq!(CorpusRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn reset_cost_shows_restore_cheaper_than_boot() {
+        let cost = measure_reset_cost(3);
+        assert!(cost.boot_us > 0.0);
+        assert!(cost.restore_us > 0.0);
+        assert!(
+            cost.speedup() > 1.0,
+            "restore ({:.1} us) not cheaper than boot ({:.1} us)",
+            cost.restore_us,
+            cost.boot_us
+        );
+    }
+
+    #[test]
+    fn check_gates_each_dimension() {
+        let result = run_fleet(14, 1);
+        let cost = ResetCost {
+            boot_us: 1000.0,
+            restore_us: 10.0,
+        };
+        let baseline = "{\"min_restore_speedup\": 20.0}";
+        let notes = check(&result, &cost, &[], baseline).unwrap();
+        assert!(notes.iter().any(|n| n.contains("restore speedup")));
+        // Equivalence failure fails the gate.
+        let eq = vec!["chip X diverged".to_string()];
+        assert!(check(&result, &cost, &eq, baseline).is_err());
+        // Speedup below the floor fails the gate.
+        let slow = ResetCost {
+            boot_us: 100.0,
+            restore_us: 10.0,
+        };
+        assert!(check(&result, &slow, &[], baseline).is_err());
+        // No floor in the baseline: skipped with a note.
+        let notes = check(&result, &slow, &[], "{}").unwrap();
+        assert!(notes.iter().any(|n| n.contains("skipped")), "{notes:?}");
+    }
+
+    #[test]
+    fn render_json_round_trips_key_fields() {
+        let result = run_fleet(14, 1);
+        let cost = ResetCost {
+            boot_us: 500.0,
+            restore_us: 20.0,
+        };
+        let doc = render_json(&result, &cost, &[], 4);
+        assert!(doc.contains("\"experiment\": \"e_fleet\""));
+        assert_eq!(json::read_number(&doc, "total_runs"), Some(14.0));
+        assert_eq!(json::read_number(&doc, "restore_speedup"), Some(25.0));
+        assert_eq!(json::read_number(&doc, "failures"), Some(0.0));
+        assert!(doc.contains("\"restore_equivalent\": true"));
+        assert!(doc.contains("\"fleet_runs_per_sec\""));
+    }
+
+    #[test]
+    fn shrink_failures_is_empty_on_a_clean_fleet() {
+        let result = run_fleet(14, 1);
+        assert!(shrink_failures(&result.outcomes, 10).is_empty());
+    }
+}

@@ -18,6 +18,7 @@ pub mod e62;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod fleet;
 pub mod json;
 pub mod reports;
 pub mod switch;

@@ -56,6 +56,23 @@ pub struct SimContext {
 }
 
 impl SimContext {
+    /// Resets the fields that carry *per-run* state — the cycle counter,
+    /// the §6.2 recording flag and the current-pid attribution — to their
+    /// boot values. The fields owned by longer-lived scopes (`mode`,
+    /// which `with_mode` saves and restores; `cycles_enabled` and
+    /// `trace_enabled`, which benchmark harnesses toggle around whole
+    /// suites) are deliberately left alone.
+    ///
+    /// `tt_kernel::snapshot` calls this on restore so a work unit that
+    /// leaked a flag (a recording span that never drained, a stale pid
+    /// from a panicked run) cannot carry it into the next run on the
+    /// same pool worker.
+    pub fn reset_run_state(&self) {
+        self.cycles.set(0);
+        self.recording.set(false);
+        self.current_pid.set(NO_PID);
+    }
+
     const fn new() -> Self {
         Self {
             mode: Cell::new(Mode::Enforce),
@@ -79,6 +96,11 @@ pub fn with<R>(f: impl FnOnce(&SimContext) -> R) -> R {
     CTX.with(f)
 }
 
+/// [`SimContext::reset_run_state`] on this thread's context.
+pub fn reset_run_state() {
+    with(SimContext::reset_run_state);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +114,25 @@ mod tests {
             assert!(!c.recording.get());
             assert!(!c.trace_enabled.get());
             assert_eq!(c.current_pid.get(), NO_PID);
+        });
+    }
+
+    #[test]
+    fn reset_run_state_clears_only_per_run_fields() {
+        with(|c| {
+            c.cycles.set(123);
+            c.recording.set(true);
+            c.current_pid.set(4);
+            c.trace_enabled.set(true);
+        });
+        reset_run_state();
+        with(|c| {
+            assert_eq!(c.cycles.get(), 0);
+            assert!(!c.recording.get());
+            assert_eq!(c.current_pid.get(), NO_PID);
+            // Owned by the tracing layer, not per-run state.
+            assert!(c.trace_enabled.get());
+            c.trace_enabled.set(false);
         });
     }
 

@@ -94,6 +94,14 @@ pub fn reset() {
     simctx::with(|c| c.cycles.set(0));
 }
 
+/// Sets the counter to an absolute value. Used by `tt_kernel::snapshot`
+/// to rewind the clock to its capture point, so cycle-derived values
+/// (sensor readings, recovery-latency spans) replay exactly as they
+/// would on a fresh boot.
+pub fn set_now(counter: u64) {
+    simctx::with(|c| c.cycles.set(counter));
+}
+
 /// Enables or disables accounting (returns the previous state).
 pub fn set_enabled(enabled: bool) -> bool {
     simctx::with(|c| c.cycles_enabled.replace(enabled))

@@ -114,11 +114,48 @@ pub enum Segment {
     Ram,
 }
 
+/// Dirty-tracking granule for [`MemSnapshot`] restore: one bit covers
+/// this many bytes of RAM. 256 bytes keeps the bitmap tiny (128 bytes
+/// per MiB of RAM) while a typical campaign run dirties only a handful
+/// of granules, so restore copies kilobytes instead of the whole RAM.
+pub const SNAPSHOT_PAGE_SIZE: usize = 256;
+const PAGE_SHIFT: u32 = SNAPSHOT_PAGE_SIZE.trailing_zeros();
+
+/// A point-in-time copy of a chip's memory, produced by
+/// [`PhysicalMemory::snapshot`] and applied by
+/// [`PhysicalMemory::restore`].
+///
+/// This is the memory half of the copy-on-write scheme in
+/// `tt_kernel::snapshot`: the snapshot itself is a full copy taken once
+/// per boot, and from that moment the live memory tracks which
+/// [`SNAPSHOT_PAGE_SIZE`]-byte RAM pages a run dirtied. Restore copies
+/// back only those pages (plus flash, only if it was reprogrammed), so
+/// resetting a run costs proportional to what the run touched, not to
+/// the chip's RAM size.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    flash: Vec<u8>,
+    ram: Vec<u8>,
+}
+
+impl MemSnapshot {
+    /// Total bytes held by the snapshot.
+    pub fn bytes(&self) -> usize {
+        self.flash.len() + self.ram.len()
+    }
+}
+
 /// The simulated physical memory of a chip.
 pub struct PhysicalMemory {
     map: MemoryMap,
     flash: Vec<u8>,
     ram: Vec<u8>,
+    /// Dirty bitmap over RAM snapshot pages (one bit per
+    /// [`SNAPSHOT_PAGE_SIZE`] bytes); empty until [`Self::snapshot`]
+    /// arms tracking.
+    ram_dirty: Vec<u64>,
+    /// Whether flash was reprogrammed since tracking was armed.
+    flash_dirty: bool,
 }
 
 impl fmt::Debug for PhysicalMemory {
@@ -157,7 +194,75 @@ impl PhysicalMemory {
             map,
             flash: vec![0; map.flash.len()],
             ram: vec![0; map.ram.len()],
+            ram_dirty: Vec::new(),
+            flash_dirty: false,
         }
+    }
+
+    /// Marks the RAM byte range `[off, off + len)` dirty. A no-op until
+    /// [`Self::snapshot`] arms tracking — one branch on the bitmap's
+    /// emptiness, so untracked memory pays nothing on the write path.
+    #[inline]
+    fn mark_ram_dirty(&mut self, off: usize, len: usize) {
+        if self.ram_dirty.is_empty() || len == 0 {
+            return;
+        }
+        let first = off >> PAGE_SHIFT;
+        let last = (off + len - 1) >> PAGE_SHIFT;
+        for page in first..=last {
+            self.ram_dirty[page >> 6] |= 1u64 << (page & 63);
+        }
+    }
+
+    /// Takes a full copy of flash and RAM and arms dirty-page tracking,
+    /// clearing any previously accumulated dirty state. Subsequent
+    /// [`Self::restore`] calls copy back only the pages written since.
+    pub fn snapshot(&mut self) -> MemSnapshot {
+        let pages = self.ram.len().div_ceil(SNAPSHOT_PAGE_SIZE);
+        self.ram_dirty = vec![0; pages.div_ceil(64)];
+        self.flash_dirty = false;
+        MemSnapshot {
+            flash: self.flash.clone(),
+            ram: self.ram.clone(),
+        }
+    }
+
+    /// Restores memory to the snapshot's contents. With tracking armed
+    /// (the snapshot came from this instance's [`Self::snapshot`]), only
+    /// dirty RAM pages — and flash only after a reprogram — are copied;
+    /// the dirty state is then cleared so tracking continues for the
+    /// next run. Without tracking, the whole snapshot is copied back.
+    ///
+    /// Panics if the snapshot's geometry does not match this memory.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        assert_eq!(snap.flash.len(), self.flash.len(), "flash size mismatch");
+        assert_eq!(snap.ram.len(), self.ram.len(), "ram size mismatch");
+        if self.ram_dirty.is_empty() {
+            self.flash.copy_from_slice(&snap.flash);
+            self.ram.copy_from_slice(&snap.ram);
+            return;
+        }
+        if self.flash_dirty {
+            self.flash.copy_from_slice(&snap.flash);
+            self.flash_dirty = false;
+        }
+        for word in 0..self.ram_dirty.len() {
+            let mut bits = self.ram_dirty[word];
+            while bits != 0 {
+                let page = (word << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let start = page << PAGE_SHIFT;
+                let end = (start + SNAPSHOT_PAGE_SIZE).min(self.ram.len());
+                self.ram[start..end].copy_from_slice(&snap.ram[start..end]);
+            }
+            self.ram_dirty[word] = 0;
+        }
+    }
+
+    /// Number of RAM pages currently marked dirty (0 when tracking is
+    /// not armed). Exposed for restore-cost accounting and tests.
+    pub fn dirty_ram_pages(&self) -> usize {
+        self.ram_dirty.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns the memory map.
@@ -195,6 +300,7 @@ impl PhysicalMemory {
             Segment::Flash => Err(UnmappedAccess { addr, size: 1 }),
             Segment::Ram => {
                 self.ram[off] = value;
+                self.mark_ram_dirty(off, 1);
                 Ok(())
             }
         }
@@ -217,6 +323,7 @@ impl PhysicalMemory {
             Segment::Flash => Err(UnmappedAccess { addr, size: 4 }),
             Segment::Ram => {
                 self.ram[off..off + 4].copy_from_slice(&value.to_le_bytes());
+                self.mark_ram_dirty(off, 4);
                 Ok(())
             }
         }
@@ -229,6 +336,9 @@ impl PhysicalMemory {
         match seg {
             Segment::Flash => {
                 self.flash[off..off + data.len()].copy_from_slice(data);
+                if !self.ram_dirty.is_empty() {
+                    self.flash_dirty = true;
+                }
                 Ok(())
             }
             Segment::Ram => Err(UnmappedAccess {
@@ -259,6 +369,7 @@ impl PhysicalMemory {
             }),
             Segment::Ram => {
                 self.ram[off..off + data.len()].copy_from_slice(data);
+                self.mark_ram_dirty(off, data.len());
                 Ok(())
             }
         }
@@ -475,6 +586,58 @@ mod tests {
         fn name(&self) -> &'static str {
             "deny-writes"
         }
+    }
+
+    #[test]
+    fn snapshot_restore_undoes_ram_writes() {
+        let mut mem = PhysicalMemory::new(test_map());
+        mem.write_u32(0x2000_0100, 0x1111_1111).unwrap();
+        let snap = mem.snapshot();
+        assert_eq!(mem.dirty_ram_pages(), 0);
+        mem.write_u32(0x2000_0100, 0x2222_2222).unwrap();
+        mem.write_u8(0x2003_FFFF, 9).unwrap(); // Last byte of RAM.
+        assert_eq!(mem.dirty_ram_pages(), 2);
+        mem.restore(&snap);
+        assert_eq!(mem.read_u32(0x2000_0100).unwrap(), 0x1111_1111);
+        assert_eq!(mem.read_u8(0x2003_FFFF).unwrap(), 0);
+        assert_eq!(mem.dirty_ram_pages(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_covers_flash_reprograms_and_page_straddles() {
+        let mut mem = PhysicalMemory::new(test_map());
+        mem.program_flash(0x100, &[1, 2, 3, 4]).unwrap();
+        let snap = mem.snapshot();
+        mem.program_flash(0x100, &[9, 9, 9, 9]).unwrap();
+        // A write straddling two snapshot pages dirties both.
+        mem.write_bytes(0x2000_0000 + SNAPSHOT_PAGE_SIZE - 2, &[7; 4])
+            .unwrap();
+        assert_eq!(mem.dirty_ram_pages(), 2);
+        mem.restore(&snap);
+        assert_eq!(mem.read_u32(0x100).unwrap(), 0x0403_0201);
+        assert_eq!(
+            mem.read_u32(0x2000_0000 + SNAPSHOT_PAGE_SIZE - 2).unwrap(),
+            0
+        );
+        // Tracking stays armed: the next run's writes are tracked too.
+        mem.write_u8(0x2000_0000, 1).unwrap();
+        assert_eq!(mem.dirty_ram_pages(), 1);
+        mem.restore(&snap);
+        assert_eq!(mem.read_u8(0x2000_0000).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_without_tracking_copies_everything() {
+        let mut a = PhysicalMemory::new(test_map());
+        a.write_u32(0x2000_0400, 0xAA).unwrap();
+        let snap = a.snapshot();
+        // A second instance never armed tracking; restore still works.
+        let mut b = PhysicalMemory::new(test_map());
+        b.write_u32(0x2000_0800, 0xBB).unwrap();
+        b.restore(&snap);
+        assert_eq!(b.read_u32(0x2000_0400).unwrap(), 0xAA);
+        assert_eq!(b.read_u32(0x2000_0800).unwrap(), 0);
+        assert!(snap.bytes() > 0);
     }
 
     #[test]

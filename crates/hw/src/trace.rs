@@ -386,6 +386,13 @@ pub fn is_enabled() -> bool {
     simctx::with(|c| c.trace_enabled.get())
 }
 
+/// The capacity of this thread's ring (0 if [`enable`] never ran).
+/// `tt_kernel::snapshot` records it at capture so restore can re-arm
+/// tracing with the same ring geometry.
+pub fn capacity() -> usize {
+    RING.with(|r| r.borrow().capacity)
+}
+
 /// Records one event. The disabled path (the default) is a single
 /// [`simctx::SimContext`] flag load; the ring is touched only when
 /// tracing is on.

@@ -1,0 +1,271 @@
+//! Fixed-width per-run result records and on-disk corpus persistence.
+//!
+//! Fleet campaigns produce up to 10^6 runs; keeping a `RunRecord` (with
+//! its full trace) per run is out of the question. A [`CorpusRecord`] is
+//! the 32-byte summary a campaign keeps per run — enough to re-identify
+//! the run (chip, seed, cache mode), re-drive it (the seed is the whole
+//! input), and triage it (fired/restart/kill counts, oracle failures,
+//! trace length, recovery cycles). Records are fixed-width little-endian
+//! so a corpus file under `ci/corpus/` is seekable by run index and
+//! diffable by byte offset.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Encoded size of one [`CorpusRecord`] in bytes.
+pub const RECORD_LEN: usize = 32;
+
+/// First byte of every record.
+const MAGIC: u8 = 0xC7;
+/// Format version; bump on any layout change.
+const VERSION: u8 = 1;
+
+const FLAG_COLD: u8 = 1 << 0;
+const FLAG_KILLED: u8 = 1 << 1;
+const KNOWN_FLAGS: u8 = FLAG_COLD | FLAG_KILLED;
+
+/// One fleet-campaign run, reduced to a fixed 32-byte summary.
+///
+/// Layout (all little-endian):
+///
+/// | bytes  | field             |
+/// |--------|-------------------|
+/// | 0      | magic (`0xC7`)    |
+/// | 1      | version           |
+/// | 2      | chip index        |
+/// | 3      | flags (cold, killed) |
+/// | 4..6   | fired             |
+/// | 6..8   | restarts          |
+/// | 8..16  | seed              |
+/// | 16..18 | recoveries        |
+/// | 18..20 | failures          |
+/// | 20..24 | trace_len         |
+/// | 24..32 | recovery_cycles   |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusRecord {
+    /// Index of the chip in `tt_hw::platform::ALL_CHIPS`.
+    pub chip: u8,
+    /// Whether the run executed with the commit cache disabled.
+    pub cold: bool,
+    /// Whether the victim ended permanently killed.
+    pub killed: bool,
+    /// The injection seed.
+    pub seed: u64,
+    /// Injections that fired (saturated to `u16::MAX`).
+    pub fired: u16,
+    /// Victim restarts.
+    pub restarts: u16,
+    /// Victim fault recoveries.
+    pub recoveries: u16,
+    /// Oracle failures this run produced (0 = clean).
+    pub failures: u16,
+    /// Events in the run's trace (saturated to `u32::MAX`).
+    pub trace_len: u32,
+    /// Cycles spent recovering the victim.
+    pub recovery_cycles: u64,
+}
+
+impl CorpusRecord {
+    /// Encodes the record into its fixed 32-byte representation.
+    pub fn encode(&self) -> [u8; RECORD_LEN] {
+        let mut buf = [0u8; RECORD_LEN];
+        buf[0] = MAGIC;
+        buf[1] = VERSION;
+        buf[2] = self.chip;
+        buf[3] = (u8::from(self.cold) * FLAG_COLD) | (u8::from(self.killed) * FLAG_KILLED);
+        buf[4..6].copy_from_slice(&self.fired.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.restarts.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.seed.to_le_bytes());
+        buf[16..18].copy_from_slice(&self.recoveries.to_le_bytes());
+        buf[18..20].copy_from_slice(&self.failures.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.trace_len.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.recovery_cycles.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a record, validating magic, version and flag bits.
+    pub fn decode(buf: &[u8; RECORD_LEN]) -> Result<Self, CorpusError> {
+        if buf[0] != MAGIC {
+            return Err(CorpusError::BadMagic(buf[0]));
+        }
+        if buf[1] != VERSION {
+            return Err(CorpusError::BadVersion(buf[1]));
+        }
+        if buf[3] & !KNOWN_FLAGS != 0 {
+            return Err(CorpusError::BadFlags(buf[3]));
+        }
+        let le16 = |i: usize| u16::from_le_bytes([buf[i], buf[i + 1]]);
+        Ok(Self {
+            chip: buf[2],
+            cold: buf[3] & FLAG_COLD != 0,
+            killed: buf[3] & FLAG_KILLED != 0,
+            seed: u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice")),
+            fired: le16(4),
+            restarts: le16(6),
+            recoveries: le16(16),
+            failures: le16(18),
+            trace_len: u32::from_le_bytes(buf[20..24].try_into().expect("4-byte slice")),
+            recovery_cycles: u64::from_le_bytes(buf[24..32].try_into().expect("8-byte slice")),
+        })
+    }
+}
+
+/// A malformed [`CorpusRecord`] encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusError {
+    /// First byte is not the record magic.
+    BadMagic(u8),
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Undefined flag bits set.
+    BadFlags(u8),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::BadMagic(b) => write!(f, "bad corpus magic {b:#04x}"),
+            CorpusError::BadVersion(v) => write!(f, "unsupported corpus version {v}"),
+            CorpusError::BadFlags(b) => write!(f, "undefined corpus flag bits in {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Writes `records` to `path` (creating parent directories), replacing
+/// any existing file.
+pub fn write_corpus(path: &Path, records: &[CorpusRecord]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    for r in records {
+        out.write_all(&r.encode())?;
+    }
+    out.flush()
+}
+
+/// Reads every record from a corpus file. Trailing partial records or
+/// malformed entries surface as `InvalidData`.
+pub fn read_corpus(path: &Path) -> io::Result<Vec<CorpusRecord>> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() % RECORD_LEN != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "corpus length {} not a multiple of {RECORD_LEN}",
+                bytes.len()
+            ),
+        ));
+    }
+    bytes
+        .chunks_exact(RECORD_LEN)
+        .map(|chunk| {
+            let buf: &[u8; RECORD_LEN] = chunk.try_into().expect("exact chunk");
+            CorpusRecord::decode(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CorpusRecord {
+        CorpusRecord {
+            chip: 3,
+            cold: true,
+            killed: false,
+            seed: 0xDEAD_BEEF_0042,
+            fired: 2,
+            restarts: 1,
+            recoveries: 1,
+            failures: 0,
+            trace_len: 12_345,
+            recovery_cycles: 987_654,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let r = sample();
+        let buf = r.encode();
+        assert_eq!(buf.len(), RECORD_LEN);
+        assert_eq!(CorpusRecord::decode(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_records() {
+        let mut buf = sample().encode();
+        buf[0] = 0;
+        assert_eq!(CorpusRecord::decode(&buf), Err(CorpusError::BadMagic(0)));
+        let mut buf = sample().encode();
+        buf[1] = 99;
+        assert_eq!(CorpusRecord::decode(&buf), Err(CorpusError::BadVersion(99)));
+        let mut buf = sample().encode();
+        buf[3] |= 0x80;
+        assert!(matches!(
+            CorpusRecord::decode(&buf),
+            Err(CorpusError::BadFlags(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_truncation_detection() {
+        let dir = std::env::temp_dir().join(format!("tt-corpus-test-{}", std::process::id()));
+        let path = dir.join("sub").join("runs.bin");
+        let records = vec![
+            sample(),
+            CorpusRecord {
+                chip: 0,
+                cold: false,
+                killed: true,
+                seed: 7,
+                fired: 0,
+                restarts: 5,
+                recoveries: 5,
+                failures: 3,
+                trace_len: 0,
+                recovery_cycles: u64::MAX,
+            },
+        ];
+        write_corpus(&path, &records).unwrap();
+        assert_eq!(read_corpus(&path).unwrap(), records);
+        // A truncated file is invalid, not silently short.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.pop();
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            read_corpus(&path).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_holds_for_arbitrary_records(
+            chip in any::<u8>(),
+            cold in any::<bool>(),
+            killed in any::<bool>(),
+            seed in any::<u64>(),
+            fired in any::<u16>(),
+            restarts in any::<u16>(),
+            recoveries in any::<u16>(),
+            failures in any::<u16>(),
+            trace_len in any::<u32>(),
+            recovery_cycles in any::<u64>(),
+        ) {
+            let r = CorpusRecord {
+                chip, cold, killed, seed, fired, restarts,
+                recoveries, failures, trace_len, recovery_cycles,
+            };
+            prop_assert_eq!(CorpusRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+}

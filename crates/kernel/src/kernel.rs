@@ -137,14 +137,16 @@ pub struct Kernel {
     /// byte-identical to PR 3).
     pub mpu_scrub: bool,
     /// Tick at which a faulted process's backoff restart is due, per pid.
-    restart_due: Vec<Option<u64>>,
+    /// `pub(crate)` (like the fields below) so [`crate::snapshot`] can
+    /// capture and restore it without widening the public API.
+    pub(crate) restart_due: Vec<Option<u64>>,
     /// Pending upcall per pid.
-    upcalls: Vec<Option<Upcall>>,
+    pub(crate) upcalls: Vec<Option<Upcall>>,
     /// Driver subscriptions per pid.
-    subscriptions: Vec<Vec<usize>>,
+    pub(crate) subscriptions: Vec<Vec<usize>>,
     /// Next unallocated RAM address for process loading.
-    ram_cursor: usize,
-    ram_end: usize,
+    pub(crate) ram_cursor: usize,
+    pub(crate) ram_end: usize,
 }
 
 impl std::fmt::Debug for Kernel {

@@ -10,6 +10,7 @@
 pub mod apps;
 pub mod campaign;
 pub mod capsules;
+pub mod corpus;
 pub mod differential;
 pub mod grant;
 pub mod kernel;
@@ -19,6 +20,8 @@ pub mod obligations;
 pub mod pool;
 pub mod process;
 pub mod recovery;
+pub mod shrink;
+pub mod snapshot;
 pub mod trace;
 
 pub use kernel::{App, ErrorCode, Kernel, Step};

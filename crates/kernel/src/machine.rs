@@ -88,10 +88,44 @@ impl CommitCache {
     }
 
     /// Resets the hit/miss counters (the cached state is kept).
+    ///
+    /// Note this is a *stats* reset, not a run reset: the cached
+    /// `(pid, generation)` survives, and so do any counts accumulated
+    /// before the call site decided to reset. Campaign runs that reuse a
+    /// machine must instead round-trip the full cache through
+    /// [`Self::snapshot`]/[`Self::restore`] — the PR 6 drift audit found
+    /// both the kept state and the accumulating counters leaking across
+    /// restored runs when only `reset_stats` was used.
     pub fn reset_stats(&self) {
         self.hits.set(0);
         self.misses.set(0);
     }
+
+    /// Captures the complete cache state — cached `(pid, generation)`
+    /// *and* the hit/miss counters — for a machine snapshot.
+    pub fn snapshot(&self) -> CommitCacheSnapshot {
+        CommitCacheSnapshot {
+            state: self.state.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
+
+    /// Restores a previously captured cache state wholesale.
+    pub fn restore(&self, snap: CommitCacheSnapshot) {
+        self.state.set(snap.state);
+        self.hits.set(snap.hits);
+        self.misses.set(snap.misses);
+    }
+}
+
+/// The full state of a [`CommitCache`] at capture time (cached key and
+/// counters), as stored in a `tt_kernel::snapshot::MachineSnapshot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitCacheSnapshot {
+    state: Option<(u32, u64)>,
+    hits: u64,
+    misses: u64,
 }
 
 /// A shared handle to the chip's protection hardware plus its commit
@@ -241,6 +275,24 @@ mod tests {
         assert_eq!(cache.misses(), 4);
         cache.reset_stats();
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn commit_cache_snapshot_round_trips_state_and_counters() {
+        let cache = CommitCache::default();
+        cache.note_committed(2, 5);
+        assert!(cache.lookup(2, 5));
+        let snap = cache.snapshot();
+        // Drift the cache the way a campaign run does: new commits, new
+        // lookups, a stats reset that keeps the state.
+        cache.note_committed(9, 1);
+        assert!(!cache.lookup(2, 5));
+        cache.reset_stats();
+        assert_ne!(cache.snapshot(), snap);
+        cache.restore(snap);
+        assert_eq!(cache.snapshot(), snap);
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        assert!(cache.lookup(2, 5), "restored key must hit again");
     }
 
     #[test]

@@ -74,8 +74,35 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_indexed_ctx(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// [`run_indexed`] with a per-worker context: each worker (including the
+/// serial path's calling thread) builds one `C` via `mk_ctx` and threads
+/// it mutably through every unit it executes.
+///
+/// This is what lets the fleet campaign keep a **worker-local snapshot
+/// cache** — booted kernels hold `Rc` handles and thread-local buffers,
+/// so they can neither be shared across workers nor moved between them;
+/// a context built *on* the worker thread is the only sound home for
+/// them. Contexts are dropped on their owning worker before the pool
+/// returns. Results are still merged in item order, and `threads <= 1`
+/// still short-circuits to a serial loop with a single context, so the
+/// serial path remains the reference semantics.
+pub fn run_indexed_ctx<T, R, C, G, F>(items: &[T], threads: usize, mk_ctx: G, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    G: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut ctx = mk_ctx();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut ctx, i, t))
+            .collect();
     }
     let workers = threads.min(items.len());
     let queues: Vec<Mutex<VecDeque<usize>>> =
@@ -87,12 +114,17 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let queues = &queues;
+                let mk_ctx = &mk_ctx;
                 let f = &f;
                 scope.spawn(move || {
+                    let mut ctx = mk_ctx();
                     let mut out: Vec<(usize, R)> = Vec::new();
                     while let Some(i) = next_job(queues, w) {
-                        out.push((i, f(i, &items[i])));
+                        out.push((i, f(&mut ctx, i, &items[i])));
                     }
+                    // Contexts may own kernels whose snapshots replay into
+                    // thread-local buffers; drop them before the buffers.
+                    drop(ctx);
                     // The simulator's trace ring and method-record buffer
                     // live in TLS cells with no destructor; free them
                     // explicitly so the pool leaks nothing.
@@ -167,6 +199,74 @@ mod tests {
     #[test]
     fn default_threads_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn ctx_variant_reuses_one_context_per_worker() {
+        // Each context counts the units it ran; the per-unit result pairs
+        // the item with how many units *this* context had already seen.
+        // Serially that sequence is 0,1,2,...: one context for everything.
+        let items: Vec<u32> = (0..16).collect();
+        let serial = run_indexed_ctx(
+            &items,
+            1,
+            || 0usize,
+            |seen, _, &x| {
+                let order = *seen;
+                *seen += 1;
+                (x, order)
+            },
+        );
+        assert_eq!(serial, (0..16).map(|x| (x, x as usize)).collect::<Vec<_>>());
+        // In parallel every worker starts its own context at 0, and the
+        // per-worker counts must sum to the number of units: contexts are
+        // built once per worker, not once per unit.
+        let parallel = run_indexed_ctx(
+            &items,
+            4,
+            || 0usize,
+            |seen, _, &x| {
+                let order = *seen;
+                *seen += 1;
+                (x, order)
+            },
+        );
+        let results: Vec<u32> = parallel.iter().map(|&(x, _)| x).collect();
+        assert_eq!(results, items, "results stay in item order");
+        let max_order = parallel.iter().map(|&(_, o)| o).max().unwrap();
+        assert!(
+            max_order > 0,
+            "some context must run more than one unit (16 units, 4 workers)"
+        );
+    }
+
+    #[test]
+    fn ctx_variant_drops_contexts_on_their_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BUILT: AtomicUsize = AtomicUsize::new(0);
+        static DROPPED: AtomicUsize = AtomicUsize::new(0);
+        struct Ctx;
+        impl Drop for Ctx {
+            fn drop(&mut self) {
+                DROPPED.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let items: Vec<u32> = (0..12).collect();
+        run_indexed_ctx(
+            &items,
+            3,
+            || {
+                BUILT.fetch_add(1, Ordering::SeqCst);
+                Ctx
+            },
+            |_ctx, _, &x| x,
+        );
+        assert_eq!(
+            BUILT.load(Ordering::SeqCst),
+            DROPPED.load(Ordering::SeqCst),
+            "every context built must be dropped before the pool returns"
+        );
+        assert!(BUILT.load(Ordering::SeqCst) <= 3);
     }
 
     proptest! {

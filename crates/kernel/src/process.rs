@@ -101,12 +101,19 @@ trait MemoryOps: fmt::Debug {
     fn mpu_consistent(&self) -> bool {
         true
     }
+    /// Deep-copies the backend behind the trait object. The copy shares
+    /// the original's machine handles (hardware `Rc`, commit cache) so a
+    /// clone restored by `tt_kernel::snapshot` drives the same simulated
+    /// hardware; everything else — staged config, breaks, allocator
+    /// (generation included) — is an independent copy.
+    fn clone_box(&self) -> Box<dyn MemoryOps>;
 }
 
 // ---------------------------------------------------------------------
 // Legacy Cortex-M backend (monolithic, Fig. 4a).
 // ---------------------------------------------------------------------
 
+#[derive(Clone)]
 struct LegacyArm {
     mpu: LegacyCortexM,
     config: CortexMConfig,
@@ -231,12 +238,17 @@ impl MemoryOps for LegacyArm {
         self.kernel_break = self.memory_start + self.memory_size;
         true
     }
+
+    fn clone_box(&self) -> Box<dyn MemoryOps> {
+        Box::new(self.clone())
+    }
 }
 
 // ---------------------------------------------------------------------
 // Legacy RISC-V backend (monolithic PMP).
 // ---------------------------------------------------------------------
 
+#[derive(Clone)]
 struct LegacyRv {
     mpu: LegacyRiscv,
     config: PmpConfig,
@@ -337,13 +349,18 @@ impl MemoryOps for LegacyRv {
         self.kernel_break = self.memory_start + self.memory_size;
         true
     }
+
+    fn clone_box(&self) -> Box<dyn MemoryOps> {
+        Box::new(self.clone())
+    }
 }
 
 // ---------------------------------------------------------------------
 // Granular backend, generic over the paper's MPU abstraction.
 // ---------------------------------------------------------------------
 
-struct Granular<M: Mpu> {
+#[derive(Clone)]
+struct Granular<M: Mpu + Clone> {
     mpu: M,
     alloc: AppMemoryAllocator<M>,
     /// This process's pid — the first half of the commit-cache key.
@@ -353,7 +370,7 @@ struct Granular<M: Mpu> {
     cache: Rc<CommitCache>,
 }
 
-impl<M: Mpu> fmt::Debug for Granular<M> {
+impl<M: Mpu + Clone> fmt::Debug for Granular<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Granular")
             .field("breaks", &self.alloc.breaks)
@@ -361,7 +378,7 @@ impl<M: Mpu> fmt::Debug for Granular<M> {
     }
 }
 
-impl<M: Mpu> MemoryOps for Granular<M> {
+impl<M: Mpu + Clone + 'static> MemoryOps for Granular<M> {
     fn memory_start(&self) -> usize {
         self.alloc.breaks.memory_start.as_usize()
     }
@@ -430,6 +447,10 @@ impl<M: Mpu> MemoryOps for Granular<M> {
     fn mpu_consistent(&self) -> bool {
         self.mpu.hardware_matches(self.alloc.regions.as_slice())
     }
+
+    fn clone_box(&self) -> Box<dyn MemoryOps> {
+        Box::new(self.clone())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -454,6 +475,26 @@ pub struct Process {
     /// Grant allocations: (grant id, address, size).
     pub grants: Vec<(usize, PtrU8, usize)>,
     backend: Box<dyn MemoryOps>,
+}
+
+impl Clone for Process {
+    /// Deep-copies the process for a machine snapshot. The clone's
+    /// backend shares the snapshotted machine's hardware and commit-cache
+    /// `Rc` handles (see `MemoryOps::clone_box`), so a restored process
+    /// table keeps driving the machine the kernel already owns — restore
+    /// never creates a second protection unit.
+    fn clone(&self) -> Self {
+        Self {
+            pid: self.pid,
+            image: self.image.clone(),
+            state: self.state.clone(),
+            console: self.console.clone(),
+            allow_ro: self.allow_ro,
+            allow_rw: self.allow_rw,
+            grants: self.grants.clone(),
+            backend: self.backend.clone_box(),
+        }
+    }
 }
 
 fn create_backend(

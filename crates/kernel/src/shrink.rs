@@ -1,0 +1,158 @@
+//! Deterministic minimization of failing fault/interrupt schedules.
+//!
+//! When a fleet campaign finds a seed whose [`tt_hw::injection::InjectionPlan`]
+//! makes the oracle fail, the raw plan usually contains injections that are
+//! irrelevant to the failure, fired later than necessary, or both. Shrinking
+//! reduces the plan to a *1-minimal* schedule: removing any single remaining
+//! injection, or lowering any remaining trigger tick, makes the failure
+//! disappear.
+//!
+//! The algorithm is a greedy fixed-point search and deliberately contains no
+//! randomness, no timing dependence, and no parallelism:
+//!
+//! 1. **Subset removal.** Repeatedly try deleting one injection at a time
+//!    (front to back). If the truncated plan still fails, keep the deletion
+//!    and retry the same index; otherwise advance. Loop until a full pass
+//!    removes nothing.
+//! 2. **Trigger minimization.** For each surviving injection, scan candidate
+//!    `at` ticks in ascending order from 0 and keep the first value that
+//!    still fails.
+//!
+//! Because the result is a pure function of `(plan, predicate)` and the
+//! predicate is invoked serially, the minimized schedule is identical across
+//! re-invocations and across campaign thread counts — the property the PR 6
+//! determinism gate tests.
+
+use tt_hw::injection::InjectionPlan;
+
+/// Shrinks `plan` to a 1-minimal schedule under `fails`.
+///
+/// `fails` must return `true` when the given plan reproduces the failure.
+/// If the input plan does not fail at all, it is returned unchanged — the
+/// caller gets back something that reproduces whatever it handed in.
+///
+/// The predicate is called O(n² + n·max_at) times in the worst case; plans
+/// from `InjectionPlan::from_seed` carry at most 3 injections with `at < 24`,
+/// so shrinking one seed costs a few dozen replays.
+pub fn shrink_plan(
+    plan: &InjectionPlan,
+    mut fails: impl FnMut(&InjectionPlan) -> bool,
+) -> InjectionPlan {
+    let mut current = plan.clone();
+    if !fails(&current) {
+        return current;
+    }
+
+    // Phase 1: drop injections to a fixed point.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.injections.len() {
+            let mut candidate = current.clone();
+            candidate.injections.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Retry the same index: it now holds the next injection.
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    // Phase 2: minimize each surviving trigger tick, earliest first.
+    for i in 0..current.injections.len() {
+        let original_at = current.injections[i].at;
+        for at in 0..original_at {
+            let mut candidate = current.clone();
+            candidate.injections[i].at = at;
+            if fails(&candidate) {
+                current = candidate;
+                break;
+            }
+        }
+    }
+
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_hw::injection::{Injection, InjectionKind, InjectionPoint};
+
+    fn plan_with(ats: &[u32]) -> InjectionPlan {
+        InjectionPlan {
+            seed: 42,
+            target_pid: 0,
+            injections: ats
+                .iter()
+                .map(|&at| Injection {
+                    point: InjectionPoint::ArmRbar,
+                    at,
+                    kind: InjectionKind::BitFlip { bit: 3 },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn non_failing_plan_is_returned_unchanged() {
+        let plan = plan_with(&[1, 2, 3]);
+        let out = shrink_plan(&plan, |_| false);
+        assert_eq!(out, plan);
+    }
+
+    #[test]
+    fn removes_irrelevant_injections_and_minimizes_trigger() {
+        // Failure reproduces iff some injection has at >= 5.
+        let plan = plan_with(&[2, 9, 4, 17]);
+        let out = shrink_plan(&plan, |p| p.injections.iter().any(|i| i.at >= 5));
+        assert_eq!(out.injections.len(), 1);
+        assert_eq!(out.injections[0].at, 5);
+    }
+
+    #[test]
+    fn keeps_jointly_required_injections() {
+        // Failure needs at least two injections present.
+        let plan = plan_with(&[3, 7, 11]);
+        let out = shrink_plan(&plan, |p| p.injections.len() >= 2);
+        assert_eq!(out.injections.len(), 2);
+        // Triggers minimize all the way down since the predicate ignores `at`.
+        assert!(out.injections.iter().all(|i| i.at == 0));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic_across_invocations() {
+        let plan = plan_with(&[23, 5, 13, 2, 19]);
+        let pred = |p: &InjectionPlan| p.injections.iter().map(|i| i.at).sum::<u32>() >= 20;
+        let a = shrink_plan(&plan, pred);
+        let b = shrink_plan(&plan, pred);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let plan = plan_with(&[8, 8, 8]);
+        let pred = |p: &InjectionPlan| p.injections.iter().filter(|i| i.at >= 4).count() >= 2;
+        let out = shrink_plan(&plan, pred);
+        assert!(pred(&out));
+        // Removing any single injection breaks reproduction.
+        for i in 0..out.injections.len() {
+            let mut smaller = out.clone();
+            smaller.injections.remove(i);
+            assert!(!pred(&smaller), "injection {i} was removable");
+        }
+        // Lowering any single trigger breaks reproduction.
+        for i in 0..out.injections.len() {
+            for at in 0..out.injections[i].at {
+                let mut lower = out.clone();
+                lower.injections[i].at = at;
+                assert!(!pred(&lower), "injection {i} trigger was reducible to {at}");
+            }
+        }
+    }
+}
