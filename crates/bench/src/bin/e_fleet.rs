@@ -2,16 +2,31 @@
 //!
 //! Runs a `--runs N` (default 1000) fleet campaign across all chips on
 //! the snapshot/restore path — boot once per `(chip, cache-mode)` per
-//! worker, dirty-page restore per seed — with the bystander oracle and
-//! contract checks enabled on every run, and prints per-chip tallies,
-//! runs/sec and the measured restore-vs-boot reset cost.
+//! worker, dirty-page restore per seed, mid-run (post-first-tick)
+//! resume for every plan that doesn't fire inside tick 1 — with the
+//! bystander oracle and contract checks enabled on every run, and
+//! prints per-chip tallies, runs/sec and the measured reset costs.
+//!
+//! Seeds recorded in the failure corpus (`<--corpus>/failures.bin`)
+//! from a previous campaign are scheduled *first*, so known-bad inputs
+//! report in the opening seconds of a million-run job.
+//!
+//! With `--profile`, prints the per-phase (restore/run/collect/
+//! validate) p50/p99/mean table and capture amortization. The same
+//! breakdown always lands in the `--json` document.
 //!
 //! With `--json [path]`, writes `BENCH_throughput.json` (experiment
-//! `e_fleet`, including `fleet_runs_per_sec` and `restore_speedup`).
+//! `e_fleet`, including `fleet_runs_per_sec`, `restore_speedup`,
+//! `midrun_restore_speedup` and the `phases` object).
 //! With `--check [baseline]` (default `ci/bench_baseline.json`), exits
 //! non-zero if any restored run is not byte-identical to its fresh-boot
-//! twin, if any campaign run fails the oracle, or if the restore-vs-boot
-//! speedup misses the baseline's `min_restore_speedup` floor.
+//! twin, if any campaign run fails the oracle, or if a measured speedup
+//! misses its baseline floor (`min_restore_speedup`,
+//! `min_midrun_restore_speedup`, or the serial throughput floor
+//! `fleet_runs_per_sec_prev` x `min_fleet_speedup`).
+//! With `--budget-ms N`, exits non-zero if the campaign wall-clock
+//! exceeded `N` milliseconds — the CI knob that keeps raising `--runs`
+//! toward 10^6 honest.
 //!
 //! Failing runs persist as 32-byte corpus records under `--corpus`
 //! (default `ci/corpus/`), and the first few failing seeds are shrunk to
@@ -21,8 +36,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use tt_bench::fleet::{
-    check, equivalence_failures, failing_records, measure_reset_cost, render, render_json,
-    run_fleet, shrink_failures,
+    check, equivalence_failures, failing_records, measure_reset_cost, priority_from_corpus,
+    profile, render, render_json, render_profile, run_fleet_prioritized, shrink_failures,
 };
 use tt_bench::throughput::host_cores;
 use tt_kernel::corpus::write_corpus;
@@ -60,6 +75,12 @@ fn main() -> ExitCode {
         .filter(|p| !p.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "ci/corpus".into());
+    let want_profile = args.iter().any(|a| a == "--profile");
+    let budget_ms: Option<f64> = args
+        .iter()
+        .position(|a| a == "--budget-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
     let threads = pool::default_threads();
     let cores = host_cores();
@@ -71,20 +92,42 @@ fn main() -> ExitCode {
         eprintln!("EQUIVALENCE FAILED: {f}");
     }
 
-    let result = run_fleet(runs, threads);
+    // Corpus-guided scheduling: front the units a previous campaign
+    // recorded as failing.
+    let failures_path = Path::new(&corpus_dir).join("failures.bin");
+    let priority = match priority_from_corpus(&failures_path) {
+        Ok(units) => {
+            if !units.is_empty() {
+                println!(
+                    "corpus-guided scheduling: {} previously failing unit(s) run first",
+                    units.len()
+                );
+            }
+            units
+        }
+        Err(e) => {
+            eprintln!("corrupt corpus {}: {e}", failures_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = run_fleet_prioritized(runs, threads, &priority);
     let cost = measure_reset_cost(RESET_COST_ITERS);
+    let prof = profile(&result);
     print!("{}", render(&result, &cost));
+    if want_profile {
+        print!("{}", render_profile(&result, &prof));
+    }
 
     let failing = failing_records(&result.outcomes);
     if !failing.is_empty() {
-        let path = Path::new(&corpus_dir).join("failures.bin");
-        match write_corpus(&path, &failing) {
+        match write_corpus(&failures_path, &failing) {
             Ok(()) => println!(
                 "wrote {} failing record(s) to {}",
                 failing.len(),
-                path.display()
+                failures_path.display()
             ),
-            Err(e) => eprintln!("failed to write corpus {}: {e}", path.display()),
+            Err(e) => eprintln!("failed to write corpus {}: {e}", failures_path.display()),
         }
         for line in shrink_failures(&result.outcomes, SHRINK_LIMIT) {
             println!("shrunk: {line}");
@@ -92,12 +135,28 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let doc = render_json(&result, &cost, &equivalence, cores);
+        let doc = render_json(&result, &cost, &prof, &equivalence, cores);
         if let Err(e) = std::fs::write(&path, &doc) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+
+    let mut failed = false;
+    if let Some(budget) = budget_ms {
+        if result.wall_ms > budget {
+            eprintln!(
+                "FLEET GATE FAILED: campaign took {:.0} ms, over the {budget:.0} ms budget",
+                result.wall_ms
+            );
+            failed = true;
+        } else {
+            println!(
+                "check: wall-clock {:.0} ms within the {budget:.0} ms budget",
+                result.wall_ms
+            );
+        }
     }
 
     if let Some(path) = check_path {
@@ -118,11 +177,15 @@ fn main() -> ExitCode {
                 for f in failures {
                     eprintln!("FLEET GATE FAILED: {f}");
                 }
-                return ExitCode::FAILURE;
+                failed = true;
             }
         }
     } else if !equivalence.is_empty() {
-        return ExitCode::FAILURE;
+        failed = true;
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

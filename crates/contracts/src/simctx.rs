@@ -37,6 +37,12 @@ use crate::Mode;
 /// `tt_hw::trace::NO_PID`, which this crate cannot reference).
 pub const NO_PID: u32 = u32::MAX;
 
+/// Sentinel for [`SimContext::injection_target`] meaning "no injection
+/// plan armed". Distinct from [`NO_PID`] *and* from every real pid
+/// (small process indices), so a disarmed engine's fast-path compare
+/// `current_pid == injection_target` is false in every context.
+pub const NO_TARGET: u32 = u32::MAX - 1;
+
 /// All per-thread simulator flags and counters, one field per former
 /// `thread_local!` static. Plain-`Copy` cells only — see the module docs
 /// for why no buffer lives here.
@@ -53,6 +59,13 @@ pub struct SimContext {
     pub trace_enabled: Cell<bool>,
     /// Process context attributed to low-level trace events.
     pub current_pid: Cell<u32>,
+    /// Mirror of the armed fault-injection plan's target pid
+    /// ([`NO_TARGET`] when disarmed), kept in sync by
+    /// `tt_hw::injection::{arm, disarm}`. Lets every injection hook
+    /// answer "not the victim's context" with the same single TLS access
+    /// that already holds `current_pid`, instead of touching the
+    /// engine's own (buffer-carrying) thread-local.
+    pub injection_target: Cell<u32>,
 }
 
 impl SimContext {
@@ -81,6 +94,7 @@ impl SimContext {
             recording: Cell::new(false),
             trace_enabled: Cell::new(false),
             current_pid: Cell::new(NO_PID),
+            injection_target: Cell::new(NO_TARGET),
         }
     }
 }
@@ -114,6 +128,7 @@ mod tests {
             assert!(!c.recording.get());
             assert!(!c.trace_enabled.get());
             assert_eq!(c.current_pid.get(), NO_PID);
+            assert_eq!(c.injection_target.get(), NO_TARGET);
         });
     }
 

@@ -266,6 +266,12 @@ impl<const G: usize> Mpu for GranularPmp<G> {
     }
 }
 
+/// Upper bound on PMP entry pairs across every supported chip (largest
+/// chip: 16 entries = 8 pairs; headroom for doubling).
+const MAX_PAIRS: usize = 16;
+/// Upper bound on staged regions per process.
+const MAX_REGIONS: usize = 16;
+
 impl<const G: usize> GranularPmp<G> {
     /// Returns `true` when either entry of the pair at `base` is locked.
     /// pmpcfg.L is sticky until hart reset, so a locked pair can never be
@@ -286,10 +292,19 @@ impl<const G: usize> GranularPmp<G> {
     ///
     /// A pure function of the staged regions and the hardware lock
     /// pattern, so the commit and consistency-check paths always agree.
-    fn placement(hw: &RiscvPmp, regions: &[PmpRegion]) -> Vec<Option<usize>> {
+    ///
+    /// Returned as a fixed-size array (entries beyond `regions.len()`
+    /// stay `None`): this runs on the per-commit and per-scrub hot
+    /// paths, where two heap allocations per call dominated the
+    /// RISC-V fleet profile.
+    fn placement(hw: &RiscvPmp, regions: &[PmpRegion]) -> [Option<usize>; MAX_REGIONS] {
         let pairs = hw.chip().entries() / 2;
-        let mut used = vec![false; pairs];
-        let mut slots = vec![None; regions.len()];
+        assert!(
+            pairs <= MAX_PAIRS && regions.len() <= MAX_REGIONS,
+            "PMP geometry exceeds placement bounds"
+        );
+        let mut used = [false; MAX_PAIRS];
+        let mut slots = [None; MAX_REGIONS];
         // Set regions first: default pair when unbricked …
         for (slot, region) in slots.iter_mut().zip(regions) {
             let pair = region.region_id();

@@ -25,6 +25,7 @@ use std::cell::RefCell;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tt_contracts::simctx;
 
 use crate::trace::{self, TraceEvent};
 
@@ -103,6 +104,18 @@ pub struct InjectionPlan {
 }
 
 impl InjectionPlan {
+    /// Returns `true` if any scheduled injection would fire during a
+    /// run prefix whose per-point occurrence counts (in target context,
+    /// [`ALL_POINTS`] order) are `seen` — i.e. some injection's `at`
+    /// falls *before* the counters a mid-run snapshot would resume from.
+    /// Such plans cannot use the snapshot: the fault belongs in the
+    /// skipped prefix, so the runner must fall back to a full run.
+    pub fn fires_within(&self, seen: &[u32; ALL_POINTS.len()]) -> bool {
+        self.injections
+            .iter()
+            .any(|inj| inj.at < seen[point_index(inj.point)])
+    }
+
     /// Derives a plan deterministically from `seed`: one to three
     /// injections with bounded occurrence indices. The same `(seed,
     /// target_pid)` always yields the same plan, which is what makes
@@ -151,7 +164,15 @@ struct Engine {
 }
 
 thread_local! {
-    static ENGINE: RefCell<Option<Engine>> = const { RefCell::new(None) };
+    // `ManuallyDrop` for the same reason as the trace ring: the engine's
+    // `Vec`s would otherwise give the thread-local `Drop` glue, forcing
+    // every `fire` hook — one per modelled MPU write, user access and
+    // syscall argument — through the TLS registration state machine.
+    // `arm`/`disarm` assign and `take` through the `DerefMut`, so engines
+    // are still dropped normally; only a thread that exits while armed
+    // leaks its (tiny) plan, and campaign workers always disarm.
+    static ENGINE: RefCell<std::mem::ManuallyDrop<Option<Engine>>> =
+        const { RefCell::new(std::mem::ManuallyDrop::new(None)) };
 }
 
 fn point_index(point: InjectionPoint) -> usize {
@@ -164,9 +185,11 @@ fn point_index(point: InjectionPoint) -> usize {
 /// Arms the engine with a plan. Occurrence counters and one-shot flags
 /// start fresh; any previously armed plan is discarded.
 pub fn arm(plan: InjectionPlan) {
+    debug_assert_ne!(plan.target_pid, simctx::NO_TARGET, "reserved sentinel");
+    simctx::with(|c| c.injection_target.set(plan.target_pid));
     ENGINE.with(|e| {
         let fired = vec![false; plan.injections.len()];
-        *e.borrow_mut() = Some(Engine {
+        **e.borrow_mut() = Some(Engine {
             plan,
             seen: [0; ALL_POINTS.len()],
             fired,
@@ -175,8 +198,41 @@ pub fn arm(plan: InjectionPlan) {
     });
 }
 
+/// Arms the engine with a plan whose occurrence counters start at
+/// `seen` instead of zero — the mid-run-snapshot form of [`arm`]. A run
+/// resumed from a snapshot taken after a prefix in which the target hit
+/// each point `seen[i]` times behaves exactly like a full run armed
+/// from zero, **provided** no injection was scheduled inside the prefix
+/// (callers must check [`InjectionPlan::fires_within`] first).
+pub fn arm_with_seen(plan: InjectionPlan, seen: [u32; ALL_POINTS.len()]) {
+    debug_assert!(
+        !plan.fires_within(&seen),
+        "plan schedules an injection inside the skipped prefix"
+    );
+    debug_assert_ne!(plan.target_pid, simctx::NO_TARGET, "reserved sentinel");
+    simctx::with(|c| c.injection_target.set(plan.target_pid));
+    ENGINE.with(|e| {
+        let fired = vec![false; plan.injections.len()];
+        **e.borrow_mut() = Some(Engine {
+            plan,
+            seen,
+            fired,
+            fired_count: 0,
+        });
+    });
+}
+
+/// The per-point occurrence counters accumulated since [`arm`] (in
+/// [`ALL_POINTS`] order), or `None` when disarmed. A snapshotting
+/// runner reads these at capture time and replays them into
+/// [`arm_with_seen`] on every restore.
+pub fn seen_counts() -> Option<[u32; ALL_POINTS.len()]> {
+    ENGINE.with(|e| e.borrow().as_ref().map(|eng| eng.seen))
+}
+
 /// Disarms the engine, returning how many injections fired since [`arm`].
 pub fn disarm() -> u64 {
+    simctx::with(|c| c.injection_target.set(simctx::NO_TARGET));
     ENGINE.with(|e| e.borrow_mut().take().map_or(0, |eng| eng.fired_count))
 }
 
@@ -194,12 +250,17 @@ pub fn fired_count() -> u64 {
 /// context only) and returns the kind of the injection that fires there,
 /// if any. Records the [`TraceEvent::FaultInjected`] event.
 fn fire(point: InjectionPoint) -> Option<InjectionKind> {
+    // Fast path: one scalar TLS access (the same cell line that holds
+    // `current_pid`) rejects every hook outside the armed plan's target
+    // context — and every hook while disarmed, since the mirror is then
+    // [`simctx::NO_TARGET`], which no context matches.
+    if simctx::with(|c| c.current_pid.get() != c.injection_target.get()) {
+        return None;
+    }
     ENGINE.with(|e| {
         let mut slot = e.borrow_mut();
         let eng = slot.as_mut()?;
-        if trace::current_pid() != eng.plan.target_pid {
-            return None;
-        }
+        debug_assert_eq!(trace::current_pid(), eng.plan.target_pid);
         let idx = point_index(point);
         let occurrence = eng.seen[idx];
         eng.seen[idx] = occurrence.wrapping_add(1);
@@ -385,6 +446,53 @@ mod tests {
             InjectionPlan::from_seed(1, 0).injections,
             InjectionPlan::from_seed(2, 0).injections,
         );
+    }
+
+    #[test]
+    fn arm_with_seen_resumes_occurrence_counting_mid_stream() {
+        trace::set_current_pid(0);
+        let p = plan(
+            0,
+            vec![Injection {
+                point: InjectionPoint::ArmRasr,
+                at: 3,
+                kind: InjectionKind::BitFlip { bit: 0 },
+            }],
+        );
+        // Full run: occurrences 0,1 form the "prefix", 2,3 the rest.
+        arm(p.clone());
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 0);
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 0);
+        let seen = seen_counts().expect("armed");
+        assert_eq!(seen[1], 2); // ArmRasr is ALL_POINTS[1].
+        assert!(!p.fires_within(&seen)); // at=3 is after the prefix.
+        disarm();
+        // Resumed run: counting continues from the recorded prefix.
+        arm_with_seen(p, seen);
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 0); // occurrence 2
+        assert_eq!(mutate_reg_write(InjectionPoint::ArmRasr, 0), 1); // occurrence 3: fires
+        assert_eq!(disarm(), 1);
+        trace::set_current_pid(NO_PID);
+    }
+
+    #[test]
+    fn fires_within_flags_prefix_scheduled_injections() {
+        let p = plan(
+            0,
+            vec![Injection {
+                point: InjectionPoint::Stack,
+                at: 1,
+                kind: InjectionKind::StackNudge,
+            }],
+        );
+        let mut seen = [0u32; ALL_POINTS.len()];
+        assert!(!p.fires_within(&seen));
+        seen[5] = 1; // Stack is ALL_POINTS[5]; at=1 not yet reached.
+        assert!(!p.fires_within(&seen));
+        seen[5] = 2; // Occurrence 1 happened inside the prefix.
+        assert!(p.fires_within(&seen));
+        // An empty plan never fires anywhere.
+        assert!(!plan(0, vec![]).fires_within(&seen));
     }
 
     #[test]

@@ -265,6 +265,40 @@ impl PhysicalMemory {
         self.ram_dirty.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Copies out the current dirty-tracking state: the RAM page bitmap
+    /// and the flash-reprogrammed flag. Empty until [`Self::snapshot`]
+    /// arms tracking.
+    ///
+    /// This exists for holders of *multiple* snapshots of one memory:
+    /// [`Self::snapshot`] clears accumulated dirt, so a caller capturing
+    /// a second (e.g. mid-run) snapshot must save the pages dirtied
+    /// since the first one and [`Self::merge_dirty_state`] them back in
+    /// whenever it switches which snapshot it restores — otherwise the
+    /// incremental restore would skip pages that differ between the two
+    /// snapshots but were not touched by the run being reset.
+    pub fn dirty_state(&self) -> (Vec<u64>, bool) {
+        (self.ram_dirty.clone(), self.flash_dirty)
+    }
+
+    /// ORs a previously saved [`Self::dirty_state`] into the live
+    /// tracking state, forcing the next [`Self::restore`] to also copy
+    /// those pages (and flash, if flagged). A no-op when tracking is not
+    /// armed; panics if the bitmap geometry does not match.
+    pub fn merge_dirty_state(&mut self, ram_dirty: &[u64], flash_dirty: bool) {
+        if self.ram_dirty.is_empty() {
+            return;
+        }
+        assert_eq!(
+            ram_dirty.len(),
+            self.ram_dirty.len(),
+            "dirty bitmap size mismatch"
+        );
+        for (live, saved) in self.ram_dirty.iter_mut().zip(ram_dirty) {
+            *live |= saved;
+        }
+        self.flash_dirty |= flash_dirty;
+    }
+
     /// Returns the memory map.
     pub fn map(&self) -> MemoryMap {
         self.map
@@ -387,13 +421,40 @@ pub struct BusFault {
     pub kind: FaultKind,
 }
 
+impl BusFault {
+    /// The `Display` text, built without the `core::fmt` machinery: the
+    /// kernel fault path renders one of these per injected fault, and the
+    /// formatter dispatch was a visible slice of the fleet profile.
+    pub fn to_reason(&self) -> String {
+        let mut out = String::with_capacity(48);
+        out.push_str("bus fault: ");
+        out.push_str(match self.access {
+            AccessType::Read => "Read",
+            AccessType::Write => "Write",
+            AccessType::Execute => "Execute",
+        });
+        out.push_str(" at 0x");
+        let natural = (usize::BITS - self.addr.leading_zeros()).div_ceil(4).max(1);
+        for i in (0..natural.max(8)).rev() {
+            let d = (self.addr >> (i * 4)) & 0xF;
+            out.push(char::from_digit(d as u32, 16).expect("nibble"));
+        }
+        out.push_str(" (");
+        out.push_str(match self.kind {
+            FaultKind::NoRegionMatch => "NoRegionMatch",
+            FaultKind::PermissionDenied => "PermissionDenied",
+            FaultKind::Unmapped => "Unmapped",
+            FaultKind::SubregionDisabled => "SubregionDisabled",
+            FaultKind::LockedEntry => "LockedEntry",
+        });
+        out.push(')');
+        out
+    }
+}
+
 impl fmt::Display for BusFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "bus fault: {:?} at {:#010x} ({:?})",
-            self.access, self.addr, self.kind
-        )
+        f.write_str(&self.to_reason())
     }
 }
 
@@ -638,6 +699,40 @@ mod tests {
         assert_eq!(b.read_u32(0x2000_0400).unwrap(), 0xAA);
         assert_eq!(b.read_u32(0x2000_0800).unwrap(), 0);
         assert!(snap.bytes() > 0);
+    }
+
+    #[test]
+    fn merged_dirty_state_makes_snapshot_switching_sound() {
+        // Two snapshots of one memory: S0, then a "prefix" write, then
+        // S1 (which clears tracking). Restoring S1 and then switching
+        // back to S0 must undo the prefix write even though the bitmap
+        // no longer remembers it — that is what the merge is for.
+        let mut mem = PhysicalMemory::new(test_map());
+        let s0 = mem.snapshot();
+        mem.write_u32(0x2000_0100, 0xAAAA_AAAA).unwrap(); // Prefix.
+        let (prefix_pages, prefix_flash) = mem.dirty_state();
+        assert!(!prefix_flash);
+        let s1 = mem.snapshot();
+        mem.write_u32(0x2000_0800, 0xBBBB_BBBB).unwrap(); // Run.
+        mem.restore(&s1);
+        assert_eq!(mem.read_u32(0x2000_0100).unwrap(), 0xAAAA_AAAA);
+        assert_eq!(mem.read_u32(0x2000_0800).unwrap(), 0);
+        // Without the merge, restoring S0 would skip the prefix page.
+        mem.merge_dirty_state(&prefix_pages, prefix_flash);
+        mem.restore(&s0);
+        assert_eq!(mem.read_u32(0x2000_0100).unwrap(), 0);
+        // And switching forward again also needs the merge (symmetric).
+        mem.merge_dirty_state(&prefix_pages, prefix_flash);
+        mem.restore(&s1);
+        assert_eq!(mem.read_u32(0x2000_0100).unwrap(), 0xAAAA_AAAA);
+    }
+
+    #[test]
+    fn merge_dirty_state_is_a_noop_without_tracking() {
+        let mut mem = PhysicalMemory::new(test_map());
+        assert_eq!(mem.dirty_state(), (Vec::new(), false));
+        mem.merge_dirty_state(&[u64::MAX], true); // Ignored, no panic.
+        assert_eq!(mem.dirty_ram_pages(), 0);
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! step, so the oracle can report the first divergent event instead.
 //!
 //! Like [`crate::cycles`], the sink is thread-local so parallel tests do
-//! not interfere — both live in the single
-//! [`tt_contracts::simctx::SimContext`] thread-local, so [`record`] is
-//! **one** TLS access per event and a single flag load when tracing is
-//! disabled (the default). Recording is zero-allocation in steady state:
+//! not interfere. The enabled flag lives *inside* the ring's own
+//! thread-local cell (mirrored into
+//! [`tt_contracts::simctx::SimContext`] for cheap [`is_enabled`]
+//! queries), so [`record`] is **one** TLS access per event — flag check
+//! and ring push behind a single `with` — and a single flag load when
+//! tracing is disabled (the default). Recording is zero-allocation in
+//! steady state:
 //! the buffer is allocated once at [`enable`], retained across
 //! enable/disable cycles, and events are `Copy`; when the ring is full
 //! the oldest event is overwritten and a drop counter is bumped. Drained
@@ -232,6 +235,10 @@ pub struct Trace {
 }
 
 struct Ring {
+    /// Whether tracing is on. Kept here — not (only) in `SimContext` —
+    /// so [`record`] decides and pushes behind one TLS access.
+    /// [`enable`]/[`disable`] keep the `SimContext` mirror in sync.
+    enabled: bool,
     /// Storage, kept sized to exactly `capacity` (pre-filled at
     /// [`Ring::reset`]) so [`Ring::push`] is always one indexed store —
     /// no `Vec::push` length bookkeeping, no fill-vs-wrap branch.
@@ -327,6 +334,7 @@ thread_local! {
     // reclaimed at process exit everywhere else.
     static RING: std::cell::RefCell<std::mem::ManuallyDrop<Ring>> = const {
         std::cell::RefCell::new(std::mem::ManuallyDrop::new(Ring {
+            enabled: false,
             buf: Vec::new(),
             capacity: 0,
             write: 0,
@@ -347,6 +355,7 @@ pub fn release_thread_buffers() {
         // Assigning a fresh empty ring drops the old buffers normally —
         // `ManuallyDrop` only suppresses the (never-run) TLS destructor.
         **r.borrow_mut() = Ring {
+            enabled: false,
             buf: Vec::new(),
             capacity: 0,
             write: 0,
@@ -355,6 +364,7 @@ pub fn release_thread_buffers() {
             spare: Vec::new(),
         };
     });
+    simctx::with(|c| c.trace_enabled.set(false));
 }
 
 /// Starts tracing on this thread with a ring of `capacity` events,
@@ -362,8 +372,41 @@ pub fn release_thread_buffers() {
 /// earlier enable/disable cycle on this thread is reused, so re-enabling
 /// with the same (or smaller) capacity allocates nothing.
 pub fn enable(capacity: usize) {
-    RING.with(|r| r.borrow_mut().reset(capacity));
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        ring.reset(capacity);
+        ring.enabled = true;
+    });
     simctx::with(|c| c.trace_enabled.set(true));
+}
+
+/// Bulk-installs an already-recorded event prefix into the (enabled,
+/// empty) ring — the zero-copy half of snapshot restore. Semantically
+/// identical to [`record`]ing each event in order, but one `memcpy`
+/// behind the write cursor instead of a TLS round-trip per event.
+///
+/// Panics if tracing is disabled, the ring is not empty, or the prefix
+/// exceeds the ring capacity (a captured prefix always fits: capture
+/// asserts the ring never wrapped).
+pub fn install_prefix(events: &[TraceEvent]) {
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        assert!(ring.enabled, "install_prefix on a disabled ring");
+        assert_eq!(ring.len, 0, "install_prefix on a non-empty ring");
+        assert!(
+            events.len() <= ring.capacity,
+            "prefix of {} events exceeds ring capacity {}",
+            events.len(),
+            ring.capacity
+        );
+        ring.buf[..events.len()].copy_from_slice(events);
+        ring.len = events.len();
+        ring.write = if events.len() == ring.capacity {
+            0
+        } else {
+            events.len()
+        };
+    });
 }
 
 /// Stops tracing. Events not yet [`take`]n are lost; the ring storage is
@@ -377,6 +420,7 @@ pub fn disable() {
         let mut ring = r.borrow_mut();
         let capacity = ring.capacity;
         ring.reset(capacity);
+        ring.enabled = false;
     });
 }
 
@@ -393,14 +437,46 @@ pub fn capacity() -> usize {
     RING.with(|r| r.borrow().capacity)
 }
 
-/// Records one event. The disabled path (the default) is a single
-/// [`simctx::SimContext`] flag load; the ring is touched only when
-/// tracing is on.
+/// Records one event. One TLS access either way: the enabled flag lives
+/// in the ring's own cell, so the disabled path (the default) is a
+/// single flag load and the enabled path checks and pushes behind the
+/// same borrow.
 #[inline]
 pub fn record(ev: TraceEvent) {
-    if simctx::with(|c| c.trace_enabled.get()) {
-        RING.with(|r| r.borrow_mut().push(ev));
-    }
+    RING.with(|r| {
+        let mut ring = r.borrow_mut();
+        if ring.enabled {
+            ring.push(ev);
+        }
+    });
+}
+
+/// Runs `f` over the recorded events (oldest first) *in place*: the
+/// live region is presented as two contiguous slices — the second is
+/// empty unless the ring wrapped — plus the dropped-event count. Unlike
+/// [`take`], nothing is copied and the ring is left untouched. The
+/// fleet oracle uses this to compare a run's trace against the
+/// reference without paying the per-run drain `memcpy`, then clears the
+/// ring via [`disable`] instead of draining it.
+pub fn with_events<R>(f: impl FnOnce(&[TraceEvent], &[TraceEvent], u64) -> R) -> R {
+    RING.with(|r| {
+        let ring = r.borrow();
+        let head = if ring.write >= ring.len {
+            ring.write - ring.len
+        } else {
+            ring.write + ring.capacity - ring.len
+        };
+        let end = head + ring.len;
+        if end <= ring.capacity {
+            f(&ring.buf[head..end], &[], ring.dropped)
+        } else {
+            f(
+                &ring.buf[head..ring.capacity],
+                &ring.buf[..end - ring.capacity],
+                ring.dropped,
+            )
+        }
+    })
 }
 
 /// Drains the recorded events (oldest first), leaving tracing enabled
@@ -601,6 +677,63 @@ mod tests {
         assert_eq!(t.dropped, 1);
         assert_eq!(t.events, (1..5).map(ev).collect::<Vec<_>>());
         disable();
+    }
+
+    #[test]
+    fn install_prefix_matches_per_event_replay() {
+        let prefix: Vec<TraceEvent> = (0..6).map(ev).collect();
+        // Reference semantics: record each event individually.
+        enable(8);
+        for e in &prefix {
+            record(*e);
+        }
+        let replayed = take();
+        disable();
+        // Bulk install must be indistinguishable, including for events
+        // recorded after the prefix.
+        enable(8);
+        install_prefix(&prefix);
+        record(ev(100));
+        record(ev(101));
+        let bulk = take();
+        disable();
+        assert_eq!(bulk.dropped, 0);
+        assert_eq!(&bulk.events[..6], &replayed.events[..]);
+        assert_eq!(&bulk.events[6..], &[ev(100), ev(101)]);
+    }
+
+    #[test]
+    fn install_prefix_at_exact_capacity_wraps_cleanly() {
+        let prefix: Vec<TraceEvent> = (0..4).map(ev).collect();
+        enable(4);
+        install_prefix(&prefix);
+        // The ring is full; the next record overwrites the oldest.
+        record(ev(9));
+        let t = take();
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.events, vec![ev(1), ev(2), ev(3), ev(9)]);
+        disable();
+    }
+
+    #[test]
+    fn install_prefix_rejects_oversized_and_disabled() {
+        disable();
+        assert!(std::panic::catch_unwind(|| install_prefix(&[ev(1)])).is_err());
+        enable(2);
+        assert!(std::panic::catch_unwind(|| install_prefix(&[ev(1); 3])).is_err());
+        disable();
+    }
+
+    #[test]
+    fn enabled_flag_mirrors_into_simctx() {
+        enable(4);
+        assert!(is_enabled());
+        record(ev(1));
+        release_thread_buffers();
+        // Release resets both the ring flag and the simctx mirror.
+        assert!(!is_enabled());
+        record(ev(2));
+        assert_eq!(take(), Trace::default());
     }
 
     #[test]

@@ -135,16 +135,29 @@ impl fmt::Display for CorpusError {
 
 impl std::error::Error for CorpusError {}
 
+/// Encodes `records` into one contiguous byte buffer — the corpus file
+/// image, `records.len() * RECORD_LEN` bytes.
+pub fn encode_corpus(records: &[CorpusRecord]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(records.len() * RECORD_LEN);
+    for r in records {
+        bytes.extend_from_slice(&r.encode());
+    }
+    bytes
+}
+
 /// Writes `records` to `path` (creating parent directories), replacing
 /// any existing file.
+///
+/// The whole corpus is encoded into one buffer and handed to the OS as
+/// a single `write_all` — for a 10^6-run campaign that is one 32 MB
+/// write instead of a million 32-byte ones, and a crash mid-write can
+/// only truncate the single final write rather than interleave records.
 pub fn write_corpus(path: &Path, records: &[CorpusRecord]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let mut out = io::BufWriter::new(fs::File::create(path)?);
-    for r in records {
-        out.write_all(&r.encode())?;
-    }
+    let mut out = fs::File::create(path)?;
+    out.write_all(&encode_corpus(records))?;
     out.flush()
 }
 
@@ -236,6 +249,9 @@ mod tests {
         ];
         write_corpus(&path, &records).unwrap();
         assert_eq!(read_corpus(&path).unwrap(), records);
+        // The on-disk image is exactly the single-buffer encoding the
+        // batched writer produces.
+        assert_eq!(fs::read(&path).unwrap(), encode_corpus(&records));
         // A truncated file is invalid, not silently short.
         let mut bytes = fs::read(&path).unwrap();
         bytes.pop();
@@ -244,6 +260,33 @@ mod tests {
             read_corpus(&path).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_record_is_rejected_not_dropped() {
+        // Regression for the batched writer: a file cut anywhere inside
+        // its *final* record (the only truncation a single interrupted
+        // write can produce) must fail loudly — a reader that silently
+        // dropped the partial tail would under-report the campaign.
+        let dir = std::env::temp_dir().join(format!("tt-corpus-trunc-{}", std::process::id()));
+        let path = dir.join("runs.bin");
+        let records = vec![sample(); 5];
+        for cut in 1..RECORD_LEN {
+            write_corpus(&path, &records).unwrap();
+            let mut bytes = fs::read(&path).unwrap();
+            bytes.truncate(bytes.len() - cut);
+            fs::write(&path, &bytes).unwrap();
+            let err = read_corpus(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut {cut}");
+        }
+        // Truncation at a record boundary is indistinguishable from a
+        // shorter campaign — those four intact records still decode.
+        write_corpus(&path, &records).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - RECORD_LEN);
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_corpus(&path).unwrap(), records[..4]);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -39,6 +39,15 @@ pub trait App {
     fn name(&self) -> &'static str;
     /// Runs one step of the program.
     fn step(&mut self, kernel: &mut Kernel, pid: usize) -> Step;
+    /// Deep-copies the program state mid-run, for mid-run machine
+    /// snapshots: a fleet runner that freezes the kernel after tick 1
+    /// must also freeze where each program was, so every restored run
+    /// resumes from an identical program counter. Returning `None` (the
+    /// default) marks the app non-resumable; snapshotting callers must
+    /// then fall back to a full run from boot.
+    fn clone_app(&self) -> Option<Box<dyn App>> {
+        None
+    }
 }
 
 /// Syscall error codes (a subset of Tock's `ErrorCode`).
@@ -268,7 +277,7 @@ impl Kernel {
                 addr: addr as u32,
                 write: false,
             });
-            self.fault_process(pid, &format!("{f}"));
+            self.fault_process(pid, &f.to_reason());
             return Err(f);
         }
         let result = self.mem.read_u32(addr).map_err(|_| BusFault {
@@ -277,7 +286,7 @@ impl Kernel {
             kind: tt_hw::mem::FaultKind::Unmapped,
         });
         if let Err(f) = result {
-            self.fault_process(pid, &format!("{f}"));
+            self.fault_process(pid, &f.to_reason());
         }
         result
     }
@@ -291,7 +300,7 @@ impl Kernel {
                 addr: addr as u32,
                 write: true,
             });
-            self.fault_process(pid, &format!("{f}"));
+            self.fault_process(pid, &f.to_reason());
             return Err(f);
         }
         self.mem.write_u32(addr, value).map_err(|_| BusFault {
@@ -310,7 +319,7 @@ impl Kernel {
                 addr: addr as u32,
                 write: true,
             });
-            self.fault_process(pid, &format!("{f}"));
+            self.fault_process(pid, &f.to_reason());
             return Err(f);
         }
         self.mem.write_u8(addr, value).map_err(|_| BusFault {
@@ -563,13 +572,23 @@ impl Kernel {
                 // Write: copy the allowed read-only buffer to the console.
                 1 => {
                     let (addr, len) = self.processes[pid].allow_ro.ok_or(ErrorCode::Invalid)?;
-                    let mut bytes = vec![0u8; len];
+                    // Console writes are short (a few bytes per step in the
+                    // campaign workloads); a stack buffer keeps the per-print
+                    // heap allocation off the fleet hot path.
+                    let mut small = [0u8; 64];
+                    let mut large;
+                    let bytes: &mut [u8] = if len <= small.len() {
+                        &mut small[..len]
+                    } else {
+                        large = vec![0u8; len];
+                        &mut large
+                    };
                     self.mem
-                        .read_bytes(addr.as_usize(), &mut bytes)
+                        .read_bytes(addr.as_usize(), bytes)
                         .map_err(|_| ErrorCode::Fail)?;
                     self.processes[pid]
                         .console
-                        .push_str(&String::from_utf8_lossy(&bytes));
+                        .push_str(&String::from_utf8_lossy(bytes));
                     Ok(len as u32)
                 }
                 // Read: deliver queued input into the allowed RW buffer.
@@ -694,7 +713,7 @@ impl Kernel {
             arg2: 0,
         });
         let base = self.processes[pid].memory_start() + 64;
-        let bytes = text.as_bytes().to_vec();
+        let bytes = text.as_bytes();
         let mut inner = || -> Result<(), ErrorCode> {
             for (i, b) in bytes.iter().enumerate() {
                 if self.user_write_u8(pid, base + i, *b).is_err() {
@@ -746,7 +765,11 @@ impl Kernel {
     /// Marks a process faulted and records the fault report (which, as in
     /// Tock, includes the memory layout).
     pub fn fault_process(&mut self, pid: usize, reason: &str) {
-        let report = format!("{reason}; {}", self.processes[pid].layout_report());
+        let layout = self.processes[pid].layout_report();
+        let mut report = String::with_capacity(reason.len() + 2 + layout.len());
+        report.push_str(reason);
+        report.push_str("; ");
+        report.push_str(&layout);
         self.processes[pid].fault(reason.to_string());
         self.fault_log.push((pid, report));
         // A fault makes whatever the commit cache believes is live in the

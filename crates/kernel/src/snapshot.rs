@@ -196,10 +196,10 @@ impl MachineSnapshot {
         tt_hw::cycles::set_now(self.boot_cycles);
         match self.trace_capacity {
             Some(cap) => {
+                // Zero-copy prefix replay: one memcpy behind the write
+                // cursor instead of a per-event `record` round-trip.
                 trace::enable(cap);
-                for ev in &self.boot_trace {
-                    trace::record(*ev);
-                }
+                trace::install_prefix(&self.boot_trace);
             }
             None => trace::disable(),
         }
@@ -338,5 +338,38 @@ mod tests {
         assert!(k.restarts.iter().all(|&r| r == 0));
         assert!(k.recoveries.iter().all(|&r| r == 0));
         assert!(k.recovery_cycles.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn reset_stats_between_runs_cannot_survive_a_restore() {
+        // `reset_stats` zeroes the hit/miss counters without touching the
+        // cached key; a restore must overwrite *both* with the capture
+        // values, whichever order a caller interleaves them in.
+        tt_hw::cycles::reset();
+        let mut k = boot_two(&NRF52840DK);
+        let snap = MachineSnapshot::capture(&mut k);
+        let at_capture = (k.machine.cache().hits(), k.machine.cache().misses());
+        let mut apps: Vec<Box<dyn crate::kernel::App>> =
+            vec![Box::new(Chatty { n: 0 }), Box::new(Chatty { n: 0 })];
+        k.run_with_factories(&mut apps, None, 50);
+        k.machine.cache().reset_stats();
+        assert_eq!(
+            (k.machine.cache().hits(), k.machine.cache().misses()),
+            (0, 0)
+        );
+        snap.restore(&mut k);
+        assert_eq!(
+            (k.machine.cache().hits(), k.machine.cache().misses()),
+            at_capture,
+            "restore must rewind counters past an interleaved reset_stats"
+        );
+        // And the other order: restore, then a stray reset, then another
+        // restore still converges on the capture counters.
+        k.machine.cache().reset_stats();
+        snap.restore(&mut k);
+        assert_eq!(
+            (k.machine.cache().hits(), k.machine.cache().misses()),
+            at_capture
+        );
     }
 }

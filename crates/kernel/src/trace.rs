@@ -120,70 +120,80 @@ pub fn normalize(events: &[TraceEvent], scope: TraceScope) -> Vec<TraceEvent> {
             }
             out
         }
-        TraceScope::Observable => events
-            .iter()
-            .filter_map(|ev| match *ev {
-                TraceEvent::RegWrite { .. } | TraceEvent::AllocatorCommit { .. } => None,
-                // The injection event marks where the *hardware model*
-                // introduced a fault — it is not app-observable, and the
-                // campaign compares injected runs against uninjected
-                // references, so it must not diverge the stream by itself.
-                // (Kernel-level recovery events — `ProcessKill`,
-                // `Recovery` — stay: both flavors emit them identically.)
-                TraceEvent::FaultInjected { .. } => None,
-                TraceEvent::SyscallEnter {
-                    pid,
-                    call,
-                    arg0,
-                    arg1,
-                    arg2,
-                } => {
-                    // Mask geometry-dependent arguments: break targets and
-                    // buffer addresses depend on where the flavor's
-                    // allocator placed and rounded the process block.
-                    let (arg0, arg1, arg2) = match call {
-                        SyscallKind::Brk | SyscallKind::Sbrk => (0, 0, 0),
-                        SyscallKind::AllowRo | SyscallKind::AllowRw => (0, arg1, arg2),
-                        _ => (arg0, arg1, arg2),
-                    };
-                    Some(TraceEvent::SyscallEnter {
-                        pid,
-                        call,
-                        arg0,
-                        arg1,
-                        arg2,
-                    })
-                }
-                TraceEvent::SyscallExit {
-                    pid,
-                    call,
-                    ok,
-                    value,
-                } => {
-                    // Mask geometry-dependent results (addresses, sizes).
-                    let value = match call {
-                        SyscallKind::Brk | SyscallKind::Sbrk | SyscallKind::Memop => 0,
-                        _ => value,
-                    };
-                    Some(TraceEvent::SyscallExit {
-                        pid,
-                        call,
-                        ok,
-                        value,
-                    })
-                }
-                // Fault addresses are where the *hardware* stopped the
-                // access; for in-block probes the stop point is the
-                // flavor's accessible extent. Keep the event, mask the
-                // address.
-                TraceEvent::BusFault { pid, write, .. } => Some(TraceEvent::BusFault {
-                    pid,
-                    addr: 0,
-                    write,
-                }),
-                other => Some(other),
+        TraceScope::Observable => events.iter().filter_map(observable_event).collect(),
+    }
+}
+
+/// The `Observable`-scope normalization of a single event: `None` when
+/// the event is dropped from the observable stream, otherwise the event
+/// with geometry-dependent payloads masked.
+///
+/// `normalize(events, Observable)` is exactly
+/// `events.iter().filter_map(observable_event)` — the per-event function
+/// is public so callers that only need an equality verdict (the fleet
+/// oracle's fast path) can stream one event at a time against a
+/// reference instead of materializing the normalized vector.
+pub fn observable_event(ev: &TraceEvent) -> Option<TraceEvent> {
+    match *ev {
+        TraceEvent::RegWrite { .. } | TraceEvent::AllocatorCommit { .. } => None,
+        // The injection event marks where the *hardware model*
+        // introduced a fault — it is not app-observable, and the
+        // campaign compares injected runs against uninjected
+        // references, so it must not diverge the stream by itself.
+        // (Kernel-level recovery events — `ProcessKill`,
+        // `Recovery` — stay: both flavors emit them identically.)
+        TraceEvent::FaultInjected { .. } => None,
+        TraceEvent::SyscallEnter {
+            pid,
+            call,
+            arg0,
+            arg1,
+            arg2,
+        } => {
+            // Mask geometry-dependent arguments: break targets and
+            // buffer addresses depend on where the flavor's
+            // allocator placed and rounded the process block.
+            let (arg0, arg1, arg2) = match call {
+                SyscallKind::Brk | SyscallKind::Sbrk => (0, 0, 0),
+                SyscallKind::AllowRo | SyscallKind::AllowRw => (0, arg1, arg2),
+                _ => (arg0, arg1, arg2),
+            };
+            Some(TraceEvent::SyscallEnter {
+                pid,
+                call,
+                arg0,
+                arg1,
+                arg2,
             })
-            .collect(),
+        }
+        TraceEvent::SyscallExit {
+            pid,
+            call,
+            ok,
+            value,
+        } => {
+            // Mask geometry-dependent results (addresses, sizes).
+            let value = match call {
+                SyscallKind::Brk | SyscallKind::Sbrk | SyscallKind::Memop => 0,
+                _ => value,
+            };
+            Some(TraceEvent::SyscallExit {
+                pid,
+                call,
+                ok,
+                value,
+            })
+        }
+        // Fault addresses are where the *hardware* stopped the
+        // access; for in-block probes the stop point is the
+        // flavor's accessible extent. Keep the event, mask the
+        // address.
+        TraceEvent::BusFault { pid, write, .. } => Some(TraceEvent::BusFault {
+            pid,
+            addr: 0,
+            write,
+        }),
+        other => Some(other),
     }
 }
 
