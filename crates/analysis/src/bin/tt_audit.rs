@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! tt-audit [--check] [--root DIR] [--config FILE] [--json FILE]
-//!          [--pass tcb,coverage,crosscheck]
+//!          [--pass tcb,coverage,crosscheck,staleness]
+//!          [--cold] [--no-cache] [--cache FILE]
 //! ```
 //!
-//! Runs the TCB audit, the invariant-coverage lint and the obligation
-//! cross-check over the workspace sources, prints the Fig. 10 table, and
-//! (with `--json`) writes the `BENCH_fig10.json` artifact. With `--check`
-//! the process exits nonzero if any pass produced findings — the CI gate.
+//! Runs the TCB audit, the invariant-coverage lint, the obligation
+//! cross-check and the allowlist staleness lint over the workspace
+//! sources, prints the Fig. 10 table, and (with `--json`) writes the
+//! `BENCH_fig10.json` artifact. With `--check` the process exits nonzero
+//! if any pass produced findings — the CI gate.
+//!
+//! By default the cacheable passes run incrementally against
+//! `ci/audit_cache.bin`: a warm re-run on an unchanged tree skips every
+//! per-file verdict. `--cold` discards the cache first; `--no-cache`
+//! disables caching entirely. Stale allowlist entries are printed as a
+//! ready-to-apply removal listing.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +29,9 @@ struct Args {
     config: PathBuf,
     json: Option<PathBuf>,
     passes: Vec<Pass>,
+    cold: bool,
+    no_cache: bool,
+    cache: Option<PathBuf>,
 }
 
 fn parse_passes(spec: &str) -> Result<Vec<Pass>, String> {
@@ -31,8 +42,9 @@ fn parse_passes(spec: &str) -> Result<Vec<Pass>, String> {
             "tcb" => Ok(Pass::Tcb),
             "coverage" => Ok(Pass::Coverage),
             "crosscheck" => Ok(Pass::Crosscheck),
+            "staleness" => Ok(Pass::Staleness),
             other => Err(format!(
-                "unknown pass `{other}` (expected tcb, coverage, crosscheck)"
+                "unknown pass `{other}` (expected tcb, coverage, crosscheck, staleness)"
             )),
         })
         .collect()
@@ -45,7 +57,10 @@ fn parse_args() -> Result<Args, String> {
         config: root.join(tt_analysis::DEFAULT_CONFIG),
         root,
         json: None,
-        passes: vec![Pass::Tcb, Pass::Coverage, Pass::Crosscheck],
+        passes: vec![Pass::Tcb, Pass::Coverage, Pass::Crosscheck, Pass::Staleness],
+        cold: false,
+        no_cache: false,
+        cache: None,
     };
     let mut config_overridden = false;
     let mut it = std::env::args().skip(1);
@@ -65,10 +80,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = Some(PathBuf::from(value("--json")?)),
             "--pass" => args.passes = parse_passes(&value("--pass")?)?,
+            "--cold" => args.cold = true,
+            "--no-cache" => args.no_cache = true,
+            "--cache" => args.cache = Some(PathBuf::from(value("--cache")?)),
             "--help" | "-h" => {
                 println!(
                     "tt-audit [--check] [--root DIR] [--config FILE] [--json FILE] \
-                     [--pass tcb,coverage,crosscheck]"
+                     [--pass tcb,coverage,crosscheck,staleness] \
+                     [--cold] [--no-cache] [--cache FILE]"
                 );
                 std::process::exit(0);
             }
@@ -94,19 +113,58 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = tt_analysis::run(&args.root, &config, &args.passes);
+    let report = if args.no_cache {
+        tt_analysis::run(&args.root, &config, &args.passes)
+    } else {
+        let cache = args
+            .cache
+            .clone()
+            .unwrap_or_else(|| args.root.join(tt_analysis::DEFAULT_AUDIT_CACHE));
+        let cache = if cache.is_absolute() {
+            cache
+        } else {
+            args.root.join(cache)
+        };
+        tt_analysis::run_cached(&args.root, &config, &args.passes, &cache, args.cold)
+    };
 
     for finding in &report.findings {
         eprintln!("{finding}");
     }
+    if !report.stale_entries.is_empty() {
+        eprintln!(
+            "fix: remove these stale entries from {}:",
+            args.config.display()
+        );
+        for e in &report.stale_entries {
+            eprintln!("  - \"{}\"   # {}: {}", e.entry, e.section, e.reason);
+        }
+    }
     print!("{}", tt_analysis::report::render_table(&report));
     println!(
-        "audit: {} finding(s) (tcb {}, coverage {}, crosscheck {})",
+        "audit: {} finding(s) (tcb {}, coverage {}, crosscheck {}, staleness {})",
         report.findings.len(),
         report.count(Pass::Tcb),
         report.count(Pass::Coverage),
         report.count(Pass::Crosscheck),
+        report.count(Pass::Staleness),
     );
+    if let Some(c) = &report.cache {
+        if let Some(err) = &c.corrupt {
+            eprintln!("warning: audit cache was corrupt ({err}); ran cold, never partial reuse");
+        }
+        println!(
+            "cache: {} run, hit rate {:.1}%, wall {:.1} ms (cold {:.1} ms), \
+             skipped tcb {}, coverage {}, crosscheck {}",
+            if c.warm { "warm" } else { "cold" },
+            c.hit_rate * 100.0,
+            c.wall_ms,
+            c.cold_wall_ms,
+            c.skipped_tcb,
+            c.skipped_coverage,
+            c.skipped_crosscheck,
+        );
+    }
 
     if let Some(path) = &args.json {
         let doc = tt_analysis::to_json(&report);

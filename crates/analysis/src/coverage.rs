@@ -113,21 +113,25 @@ fn violation(file: &ScannedFile, f: &FnSpan, exit_line: usize, armed_line: usize
     }
 }
 
-/// Runs the coverage lint over the configured files.
-pub fn audit(files: &[ScannedFile], config: &AuditConfig) -> Vec<Finding> {
+/// Lints one file (no findings unless it is a configured coverage file —
+/// the per-file granularity the incremental audit cache keys on).
+pub fn audit_file(file: &ScannedFile, config: &AuditConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in files {
-        if !config.coverage_files.iter().any(|c| c == &file.rel_path) {
+    if !config.coverage_files.iter().any(|c| c == &file.rel_path) {
+        return findings;
+    }
+    for f in &file.fns {
+        if !f.is_pub || !f.takes_mut_self || f.trusted {
             continue;
         }
-        for f in &file.fns {
-            if !f.is_pub || !f.takes_mut_self || f.trusted {
-                continue;
-            }
-            findings.extend(lint_fn(file, f));
-        }
+        findings.extend(lint_fn(file, f));
     }
     findings
+}
+
+/// Runs the coverage lint over the configured files.
+pub fn audit(files: &[ScannedFile], config: &AuditConfig) -> Vec<Finding> {
+    files.iter().flat_map(|f| audit_file(f, config)).collect()
 }
 
 #[cfg(test)]

@@ -140,7 +140,7 @@ pub fn extract_sites(file: &ScannedFile) -> Vec<Site> {
 /// `Type` / `method` halves when path-qualified. (Site names may carry a
 /// human-readable tail — `"Process::setup_mpu cache hit: ..."` — which the
 /// first-token split discards.)
-fn site_candidates(name: &str) -> Vec<&str> {
+pub(crate) fn site_candidates(name: &str) -> Vec<&str> {
     let first = name.split_whitespace().next().unwrap_or(name);
     let mut out = vec![first];
     if let Some((ty, method)) = first.split_once("::") {
@@ -153,7 +153,7 @@ fn site_candidates(name: &str) -> Vec<&str> {
 /// The comparable forms of a registered obligation's function name:
 /// full, parenthesis-stripped (`encode_permissions(arm)` →
 /// `encode_permissions`), and the `Type` / `method` halves.
-fn obligation_keys(function: &str) -> Vec<&str> {
+pub(crate) fn obligation_keys(function: &str) -> Vec<&str> {
     let stripped = function.split('(').next().unwrap_or(function);
     let mut out = vec![function, stripped];
     if let Some((ty, method)) = stripped.split_once("::") {

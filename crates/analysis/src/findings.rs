@@ -15,6 +15,9 @@ pub enum Pass {
     /// Obligation cross-check: contract sites without a registered
     /// obligation, and registered obligations with no live code.
     Crosscheck,
+    /// Allowlist staleness lint: `ci/tcb_allowlist.toml` entries whose
+    /// target no longer contains the declared construct — silent TCB rot.
+    Staleness,
 }
 
 impl Pass {
@@ -24,6 +27,7 @@ impl Pass {
             Pass::Tcb => "tcb",
             Pass::Coverage => "coverage",
             Pass::Crosscheck => "crosscheck",
+            Pass::Staleness => "staleness",
         }
     }
 }

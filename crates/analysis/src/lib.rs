@@ -21,6 +21,14 @@
 //!    source and the obligations registered in the `tt-contracts`
 //!    [`Registry`](tt_contracts::obligation::Registry) must agree:
 //!    unregistered sites and dead obligations both fail the audit.
+//! 4. **Allowlist staleness lint** ([`staleness`]) — allowlist entries
+//!    whose target no longer exists or no longer contains the declared
+//!    construct are flagged, with a `--fix`-style removal listing.
+//!
+//! The first three passes run incrementally through the shared verdict
+//! cache ([`tt_contracts::vcache`], `ci/audit_cache.bin`): unchanged
+//! files are skipped on warm runs ([`audit::run_cached`]). The staleness
+//! pass is never cached.
 //!
 //! The audit also *generates* the Fig. 10 proof-effort table (now with a
 //! trusted-LOC column) as `BENCH_fig10.json` ([`report`]), which
@@ -36,9 +44,14 @@ pub mod crosscheck;
 pub mod findings;
 pub mod report;
 pub mod source;
+pub mod staleness;
 pub mod tcb;
 
-pub use audit::{load_workspace, run, run_passes, workspace_root, DEFAULT_CONFIG};
+pub use audit::{
+    load_workspace, run, run_cached, run_passes, workspace_root, DEFAULT_AUDIT_CACHE,
+    DEFAULT_CONFIG,
+};
 pub use config::AuditConfig;
 pub use findings::{Finding, Pass};
-pub use report::{to_json, AuditReport, ComponentRow};
+pub use report::{to_json, AuditReport, CacheStats, ComponentRow};
+pub use staleness::StaleEntry;

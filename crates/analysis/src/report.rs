@@ -13,7 +13,32 @@ use std::path::Path;
 use crate::config::AuditConfig;
 use crate::findings::{Finding, Pass};
 use crate::source::ScannedFile;
+use crate::staleness::StaleEntry;
 use tt_contracts::effort::{default_components, scan_path, EffortCounts};
+
+/// Incremental-cache statistics for one cached audit run
+/// ([`crate::audit::run_cached`]); serialized into `BENCH_fig10.json`.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Whether the verdict cache loaded warm (valid file, matching
+    /// toolchain/config hash).
+    pub warm: bool,
+    /// Cache lookup hit rate for this run.
+    pub hit_rate: f64,
+    /// Wall-clock of scan + passes for this run, in milliseconds.
+    pub wall_ms: f64,
+    /// The cold-run wall recorded in the cache header, in milliseconds.
+    pub cold_wall_ms: f64,
+    /// Files served from cache in the TCB pass.
+    pub skipped_tcb: usize,
+    /// Files served from cache in the coverage pass.
+    pub skipped_coverage: usize,
+    /// 1 if the whole-workspace cross-check verdict hit, else 0.
+    pub skipped_crosscheck: usize,
+    /// Set when a cache file existed but failed validation (the run then
+    /// degraded to cold — never partial reuse).
+    pub corrupt: Option<String>,
+}
 
 /// One component row: the classic Fig. 10 counters plus TCB accounting.
 #[derive(Debug, Clone)]
@@ -38,6 +63,11 @@ pub struct AuditReport {
     pub total_trusted_loc: usize,
     /// All findings from the executed passes.
     pub findings: Vec<Finding>,
+    /// Stale allowlist entries from the staleness pass (duplicated as
+    /// findings; kept structured for the `--fix`-style removal listing).
+    pub stale_entries: Vec<StaleEntry>,
+    /// Verdict-cache statistics when the audit ran incrementally.
+    pub cache: Option<CacheStats>,
 }
 
 impl AuditReport {
@@ -170,14 +200,31 @@ pub fn to_json(report: &AuditReport) -> String {
     out.push_str(&row_json("Total", &report.total, report.total_trusted_loc));
     out.push_str(",\n  \"audit\": {");
     out.push_str(&format!(
-        "\"findings\": {}, \"tcb\": {}, \"coverage\": {}, \"crosscheck\": {}, \"clean\": {}",
+        "\"findings\": {}, \"tcb\": {}, \"coverage\": {}, \"crosscheck\": {}, \
+         \"staleness\": {}, \"clean\": {}",
         report.findings.len(),
         report.count(Pass::Tcb),
         report.count(Pass::Coverage),
         report.count(Pass::Crosscheck),
+        report.count(Pass::Staleness),
         report.clean()
     ));
-    out.push_str("}\n}\n");
+    out.push('}');
+    if let Some(c) = &report.cache {
+        out.push_str(&format!(
+            ",\n  \"cache\": {{\"mode\": \"{}\", \"cache_hit_rate\": {:.4}, \
+             \"wall_ms\": {:.3}, \"cold_wall_ms\": {:.3}, \"skipped\": \
+             {{\"tcb\": {}, \"coverage\": {}, \"crosscheck\": {}}}}}",
+            if c.warm { "warm" } else { "cold" },
+            c.hit_rate,
+            c.wall_ms,
+            c.cold_wall_ms,
+            c.skipped_tcb,
+            c.skipped_coverage,
+            c.skipped_crosscheck,
+        ));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -228,6 +275,8 @@ mod tests {
             },
             total_trusted_loc: 15,
             findings: Vec::new(),
+            stale_entries: Vec::new(),
+            cache: None,
         }
     }
 
@@ -274,6 +323,28 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(trusted_loc_of(&file, &cfg), 6);
+    }
+
+    #[test]
+    fn cache_section_appears_only_for_cached_runs() {
+        let mut r = sample_report();
+        assert!(!to_json(&r).contains("\"cache\""));
+        r.cache = Some(CacheStats {
+            warm: true,
+            hit_rate: 1.0,
+            wall_ms: 12.5,
+            cold_wall_ms: 250.0,
+            skipped_tcb: 40,
+            skipped_coverage: 40,
+            skipped_crosscheck: 1,
+            corrupt: None,
+        });
+        let doc = to_json(&r);
+        assert!(doc.contains("\"mode\": \"warm\""));
+        assert!(doc.contains("\"cache_hit_rate\": 1.0000"));
+        assert!(doc.contains("\"skipped\": {\"tcb\": 40, \"coverage\": 40, \"crosscheck\": 1}"));
+        assert!(doc.contains("\"staleness\": 0"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
     }
 
     #[test]

@@ -1,325 +1,18 @@
 //! Lexical Rust source scanning: the substrate every audit pass runs on.
 //!
-//! The build environment is dependency-frozen (no `syn`), so the scanner is
-//! a small line-oriented lexer: it strips comments and string literals with
-//! a cross-line state machine, truncates each file at its `#[cfg(test)]`
-//! module (test modules sit at the end of every file in this codebase, the
-//! same convention `tt_contracts::effort` relies on), and recovers `fn`
-//! item spans by brace counting. That is deliberately *not* a full parser:
-//! every pass tolerates over-approximation (a flagged line a human can
-//! inspect) but never under-approximates the trusted surface — unmatched
-//! constructs stay visible rather than vanishing.
+//! The scanner itself (comment/string stripping, `fn` span recovery,
+//! content hashing) lives in [`tt_contracts::span`] so that the incremental
+//! verifier and the audit passes share one span/hash layer — a cached
+//! verdict and an audit finding must agree on what "this function's text"
+//! means. This module re-exports those types and adds the filesystem side:
+//! loading files and walking the audited workspace source set.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// A source location in workspace-relative form, printable as `file:line`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Span {
-    /// Workspace-relative path, `/`-separated.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-}
-
-impl std::fmt::Display for Span {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}", self.file, self.line)
-    }
-}
-
-/// One `fn` item recovered by the scanner.
-#[derive(Debug, Clone)]
-pub struct FnSpan {
-    /// The function's name (the identifier after `fn`).
-    pub name: String,
-    /// 1-based line of the `fn` keyword.
-    pub start: usize,
-    /// 1-based line of the closing brace (inclusive).
-    pub end: usize,
-    /// Whether the item is `pub` (any visibility qualifier counts).
-    pub is_pub: bool,
-    /// Whether the signature takes `&mut self` (a mutator candidate).
-    pub takes_mut_self: bool,
-    /// Whether a `// TRUSTED:` marker comment precedes the item.
-    pub trusted: bool,
-    /// Non-blank code lines inside the span.
-    pub loc: usize,
-}
-
-/// A scanned file: raw lines plus a code-only view (comments and string
-/// contents removed) and the recovered `fn` spans.
-#[derive(Debug, Clone)]
-pub struct ScannedFile {
-    /// Workspace-relative path, `/`-separated.
-    pub rel_path: String,
-    /// Original lines, test module excluded.
-    pub raw: Vec<String>,
-    /// Code-only lines (same indices as `raw`): comments stripped, string
-    /// literals replaced by `""`.
-    pub code: Vec<String>,
-    /// Recovered function spans, in order of appearance.
-    pub fns: Vec<FnSpan>,
-}
-
-/// Strips comments and string literals from `text`, preserving line
-/// structure. String literals collapse to `""` so that tokens inside them
-/// (an `unsafe` in a diagnostic message, a register name in a doc string)
-/// never reach the pattern matchers.
-pub fn strip_comments_and_strings(text: &str) -> Vec<String> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Block(usize),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let mut state = St::Code;
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let b = line.as_bytes();
-        let mut kept = String::with_capacity(line.len());
-        let mut i = 0;
-        while i < b.len() {
-            match state {
-                St::Code => {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        break; // Line comment: rest of line gone.
-                    }
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        state = St::Block(1);
-                        i += 2;
-                        continue;
-                    }
-                    if b[i] == b'r'
-                        && (i == 0 || !b[i - 1].is_ascii_alphanumeric() && b[i - 1] != b'_')
-                    {
-                        // Possible raw string r"..." or r#"..."#.
-                        let mut j = i + 1;
-                        let mut hashes = 0;
-                        while j < b.len() && b[j] == b'#' {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if j < b.len() && b[j] == b'"' {
-                            kept.push_str("\"\"");
-                            state = St::RawStr(hashes);
-                            i = j + 1;
-                            continue;
-                        }
-                    }
-                    if b[i] == b'"' {
-                        kept.push_str("\"\"");
-                        state = St::Str;
-                        i += 1;
-                        continue;
-                    }
-                    if b[i] == b'\'' {
-                        // Char literal or lifetime. Lifetimes ('a) have an
-                        // identifier char right after and no closing quote
-                        // within two chars; treat `'x'` and escapes as chars.
-                        let is_char = (i + 2 < b.len() && b[i + 2] == b'\'')
-                            || (i + 1 < b.len() && b[i + 1] == b'\\');
-                        if is_char {
-                            kept.push_str("' '");
-                            state = St::Char;
-                            i += 1;
-                            continue;
-                        }
-                    }
-                    kept.push(b[i] as char);
-                    i += 1;
-                }
-                St::Block(depth) => {
-                    if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        state = if depth == 1 {
-                            St::Code
-                        } else {
-                            St::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        state = St::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                St::Str => {
-                    if b[i] == b'\\' {
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        state = St::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                St::RawStr(hashes) => {
-                    if b[i] == b'"' {
-                        let mut j = i + 1;
-                        let mut h = 0;
-                        while j < b.len() && b[j] == b'#' && h < hashes {
-                            h += 1;
-                            j += 1;
-                        }
-                        if h == hashes {
-                            state = St::Code;
-                            i = j;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                St::Char => {
-                    if b[i] == b'\\' {
-                        i += 2;
-                    } else if b[i] == b'\'' {
-                        state = St::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-        }
-        out.push(kept);
-        // A string/char cannot span lines (raw strings and block comments
-        // can); reset the simple states at end of line.
-        if state == St::Str || state == St::Char {
-            state = St::Code;
-        }
-    }
-    out
-}
-
-/// Truncates raw lines at the first `#[cfg(test)]` item, the repository's
-/// end-of-file test-module convention.
-fn without_test_module(lines: &[String]) -> usize {
-    lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(lines.len())
-}
-
-/// Extracts the identifier after `fn ` on a code line, if any.
-fn fn_name(code_line: &str) -> Option<String> {
-    let at = find_token(code_line, "fn")?;
-    let rest = &code_line[at + 2..];
-    let rest = rest.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .unwrap_or(rest.len());
-    if end == 0 {
-        return None;
-    }
-    Some(rest[..end].to_string())
-}
-
-/// Finds `token` in `line` at identifier boundaries (so `fn` does not match
-/// inside `fn_name` or `dyn_fn`).
-pub fn find_token(line: &str, token: &str) -> Option<usize> {
-    let b = line.as_bytes();
-    let mut from = 0;
-    while let Some(rel) = line[from..].find(token) {
-        let at = from + rel;
-        let before_ok = at == 0 || {
-            let c = b[at - 1];
-            !(c.is_ascii_alphanumeric() || c == b'_')
-        };
-        let after = at + token.len();
-        let after_ok = after >= b.len() || {
-            let c = b[after];
-            !(c.is_ascii_alphanumeric() || c == b'_')
-        };
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = at + 1;
-    }
-    None
-}
-
-/// Scans one source text into a [`ScannedFile`].
-pub fn scan_text(rel_path: &str, text: &str) -> ScannedFile {
-    let all_raw: Vec<String> = text.lines().map(str::to_string).collect();
-    let cut = without_test_module(&all_raw);
-    let raw: Vec<String> = all_raw[..cut].to_vec();
-    let code = strip_comments_and_strings(&raw.join("\n"));
-    let mut code = code;
-    code.resize(raw.len(), String::new());
-
-    // Recover fn spans by brace counting from each `fn` keyword.
-    let mut fns = Vec::new();
-    let mut depth: i64 = 0;
-    let mut open: Vec<(String, usize, bool, bool, bool, i64)> = Vec::new();
-    let mut pending_trusted = false;
-    for (idx, cl) in code.iter().enumerate() {
-        let raw_line = raw[idx].trim();
-        if (raw_line.starts_with("//") || raw_line.starts_with("/*") || raw_line.starts_with('*'))
-            && raw_line.contains("TRUSTED:")
-        {
-            pending_trusted = true;
-        }
-        if let Some(name) = fn_name(cl) {
-            // The signature may span lines up to the opening brace; a
-            // semicolon first means a trait method declaration (no body).
-            let mut sig = String::new();
-            for s in code.iter().skip(idx) {
-                sig.push_str(s);
-                sig.push(' ');
-                if s.contains('{') || s.contains(';') {
-                    break;
-                }
-            }
-            if !sig[..sig.find('{').unwrap_or(sig.len())].contains(';') {
-                let is_pub = cl.trim_start().starts_with("pub");
-                let mut_self = sig[..sig.find('{').unwrap_or(sig.len())].contains("&mut self");
-                open.push((name, idx + 1, is_pub, mut_self, pending_trusted, depth));
-            }
-            pending_trusted = false;
-        }
-        for ch in cl.chars() {
-            match ch {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    // Any fn whose body opened above this depth closes here.
-                    while let Some(&(_, _, _, _, _, d)) = open.last() {
-                        if depth <= d {
-                            let (name, start, is_pub, takes_mut_self, trusted, _) =
-                                open.pop().unwrap();
-                            let loc = raw[start - 1..=idx]
-                                .iter()
-                                .filter(|l| !l.trim().is_empty())
-                                .count();
-                            fns.push(FnSpan {
-                                name,
-                                start,
-                                end: idx + 1,
-                                is_pub,
-                                takes_mut_self,
-                                trusted,
-                                loc,
-                            });
-                        } else {
-                            break;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    fns.sort_by_key(|f| f.start);
-    ScannedFile {
-        rel_path: rel_path.to_string(),
-        raw,
-        code,
-        fns,
-    }
-}
+pub use tt_contracts::span::{
+    find_token, scan_text, strip_comments_and_strings, FnSpan, ScannedFile, SourceIndex, Span,
+};
 
 /// Loads and scans one file, returning `None` on read failure.
 pub fn scan_file(root: &Path, path: &Path) -> Option<ScannedFile> {
@@ -369,91 +62,29 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = r#"
-//! Docs mentioning unsafe and write_rbar( in prose.
-
-/// More docs.
-pub fn outer(a: usize) -> usize {
-    let s = "unsafe in a string";
-    let _ = s;
-    inner(a)
-}
-
-// TRUSTED: hardware commit path.
-pub(crate) fn trusted_commit(&mut self) {
-    self.x = 1;
-}
-
-fn inner(a: usize) -> usize {
-    a + 1
-}
-
-#[cfg(test)]
-mod tests {
-    fn invisible() {}
-}
-"#;
-
     #[test]
-    fn strings_and_comments_are_stripped() {
-        let f = scan_text("s.rs", SAMPLE);
-        let joined = f.code.join("\n");
-        assert!(!joined.contains("unsafe"), "string content must be gone");
-        assert!(!joined.contains("write_rbar"), "doc content must be gone");
-        assert!(joined.contains("let s = \"\""));
+    fn workspace_walk_finds_kernel_sources_sorted() {
+        let root = crate::audit::workspace_root();
+        let paths = workspace_sources(&root);
+        assert!(paths.iter().any(|p| p.ends_with("src/machine.rs")));
+        assert!(paths
+            .iter()
+            .all(|p| p.extension().is_some_and(|e| e == "rs")));
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+        // Vendored shims are outside the audit.
+        assert!(paths
+            .iter()
+            .all(|p| !p.to_string_lossy().contains("shims/")));
     }
 
     #[test]
-    fn fn_spans_are_recovered_with_attributes() {
-        let f = scan_text("s.rs", SAMPLE);
-        let names: Vec<&str> = f.fns.iter().map(|f| f.name.as_str()).collect();
-        assert_eq!(names, vec!["outer", "trusted_commit", "inner"]);
-        let outer = &f.fns[0];
-        assert!(outer.is_pub && !outer.takes_mut_self && !outer.trusted);
-        let trusted = &f.fns[1];
-        assert!(trusted.is_pub && trusted.takes_mut_self && trusted.trusted);
-        assert!(!f.fns[2].is_pub);
-        assert!(outer.end > outer.start);
-    }
-
-    #[test]
-    fn test_modules_are_excluded() {
-        let f = scan_text("s.rs", SAMPLE);
-        assert!(f.fns.iter().all(|f| f.name != "invisible"));
-        assert!(!f.raw.join("\n").contains("invisible"));
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let f = scan_text("s.rs", "/* a\nunsafe\n*/ fn ok() {}\n");
-        assert!(!f.code.join("\n").contains("unsafe"));
-        assert_eq!(f.fns.len(), 1);
-    }
-
-    #[test]
-    fn raw_strings_are_stripped() {
-        let code = strip_comments_and_strings("let x = r#\"unsafe \"# ; fn f() {}");
-        assert!(!code[0].contains("unsafe"));
-        assert!(code[0].contains("fn f()"));
-    }
-
-    #[test]
-    fn find_token_respects_identifier_boundaries() {
-        assert!(find_token("pub fn alloc()", "fn").is_some());
-        assert!(find_token("fn_name()", "fn").is_none());
-        assert!(find_token("dyn_fn()", "fn").is_none());
-        assert_eq!(find_token("unsafe {", "unsafe"), Some(0));
-    }
-
-    #[test]
-    fn trait_method_declarations_have_no_span() {
-        let f = scan_text("s.rs", "trait T {\n    fn decl(&self) -> usize;\n}\n");
-        assert!(f.fns.is_empty(), "{:?}", f.fns);
-    }
-
-    #[test]
-    fn char_literals_do_not_open_strings() {
-        let code = strip_comments_and_strings("let c = '\"'; let d = unsafe_marker;");
-        assert!(code[0].contains("unsafe_marker"));
+    fn scan_file_produces_workspace_relative_paths() {
+        let root = crate::audit::workspace_root();
+        let path = root.join("crates/contracts/src/lib.rs");
+        let f = scan_file(&root, &path).expect("readable");
+        assert_eq!(f.rel_path, "crates/contracts/src/lib.rs");
+        assert!(!f.fns.is_empty());
     }
 }

@@ -20,7 +20,7 @@ use crate::findings::{Finding, Pass};
 use crate::source::{find_token, ScannedFile, Span};
 
 /// Raw register-store methods: calling one commits protection state.
-const REGISTER_STORES: &[&str] = &[
+pub(crate) const REGISTER_STORES: &[&str] = &[
     "write_rbar",
     "write_rasr",
     "write_rnr",
@@ -31,7 +31,7 @@ const REGISTER_STORES: &[&str] = &[
 ];
 
 /// Raw pointer / DMA operation tokens.
-const RAW_POINTER_OPS: &[&str] = &["transmute", "read_volatile", "write_volatile"];
+pub(crate) const RAW_POINTER_OPS: &[&str] = &["transmute", "read_volatile", "write_volatile"];
 
 /// Scans one file for TCB surface outside the allowlist.
 pub fn audit_file(file: &ScannedFile, config: &AuditConfig) -> Vec<Finding> {

@@ -5,29 +5,117 @@
 //! Runs every registered obligation — monolithic (fixed), granular, and
 //! interrupts — plus the trusted-lemma exhaustive discharge, and exits
 //! non-zero if anything is refuted.
+//!
+//! Incremental mode (the default) persists per-function verdicts in
+//! `ci/verify_cache.bin`: a warm re-run on an unchanged tree skips every
+//! discharge and finishes sub-second. Flags:
+//!
+//! * `--quick`            — reduced effort densities (tier-1 CI)
+//! * `--cold`             — discard any existing cache first (records the
+//!   cold wall the warm speedup gate divides against)
+//! * `--no-cache`         — legacy non-incremental run, no cache I/O
+//! * `--cache <path>`     — cache file location (default `ci/verify_cache.bin`)
+//! * `--json <path>`      — write the BENCH_fig12.json artifact
+//! * `--check <baseline>` — enforce the warm-run floors from
+//!   `ci/bench_baseline.json` (hit rate, wall ceiling, speedup)
 
 use std::process::ExitCode;
 use tt_bench::fig12::{build_registry, Effort};
+use tt_bench::incremental;
+use tt_contracts::vcache::LoadOutcome;
 use tt_contracts::verifier::{fmt_duration, Verifier};
 
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cold = args.iter().any(|a| a == "--cold");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let json_path = arg_value(&args, "--json");
+    let check_path = arg_value(&args, "--check");
+    let cache_arg = arg_value(&args, "--cache");
     let effort = if quick { Effort::QUICK } else { Effort::FULL };
+    let effort_name = if quick { "quick" } else { "full" };
 
     // The Lean stand-in: exhaustive structural discharge of the lemmas.
+    // Lemmas are axioms of everything else, so they are re-discharged on
+    // every run, warm or cold — they are cheap and must never go stale.
     let lemma_cases = tt_contracts::lemmas::discharge_all_exhaustively();
     println!("lemmas: {lemma_cases} cases discharged exhaustively");
 
-    let registry = build_registry(effort);
-    let report = Verifier::new().verify(&registry);
+    let (report, run) = if no_cache {
+        let registry = build_registry(effort);
+        (Verifier::new().verify(&registry), None)
+    } else {
+        let path = incremental::cache_path(cache_arg.as_deref());
+        let run = incremental::run(effort, &path, cold);
+        if let LoadOutcome::Corrupt(e) = &run.outcome {
+            eprintln!(
+                "warning: verdict cache {} is corrupt ({e}); falling back to a full cold run",
+                path.display()
+            );
+        }
+        (run.report.clone(), Some(run))
+    };
+
     for (component, stats) in report.by_component() {
         println!(
-            "{component}: {} fns in {} ({} refuted)",
+            "{component}: {} fns in {} ({} refuted, {} cached)",
             stats.fns,
             fmt_duration(stats.total),
-            stats.refuted_fns
+            stats.refuted_fns,
+            stats.cached_fns
         );
     }
+    if let Some(run) = &run {
+        let mode = if run.outcome.is_warm() {
+            "warm"
+        } else {
+            "cold"
+        };
+        println!(
+            "incremental: {mode} run, hit rate {:.1}%, wall {} (cold {}), speedup {:.1}x",
+            run.hit_rate * 100.0,
+            fmt_duration(run.wall),
+            fmt_duration(run.cold_wall),
+            run.speedup()
+        );
+        if let Some(path) = &json_path {
+            let doc = incremental::to_json(run, effort_name);
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        if let Some(baseline_path) = &check_path {
+            let baseline = match std::fs::read_to_string(baseline_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: could not read baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let violations = incremental::check(run, &baseline);
+            if !violations.is_empty() {
+                println!("INCREMENTAL GATE FAILED:");
+                for v in &violations {
+                    println!("  {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+            println!("incremental gate: warm floors hold");
+        }
+    } else if json_path.is_some() || check_path.is_some() {
+        eprintln!("error: --json/--check require the incremental cache (drop --no-cache)");
+        return ExitCode::FAILURE;
+    }
+
     if report.all_verified() {
         println!("VERIFIED: the entire project checks");
         ExitCode::SUCCESS

@@ -19,6 +19,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fleet;
+pub mod incremental;
 pub mod json;
 pub mod reports;
 pub mod switch;

@@ -37,6 +37,8 @@ pub mod lemmas;
 pub mod math;
 pub mod obligation;
 pub mod simctx;
+pub mod span;
+pub mod vcache;
 pub mod verifier;
 
 use std::fmt;

@@ -5,9 +5,15 @@
 //! (`Fns`, `Total`, `Max`, `Mean`, `StdDev`).
 
 use crate::obligation::{CheckResult, Registry};
+use crate::span::SourceIndex;
+use crate::vcache::{verdict_key, Verdict, VerdictCache};
 use crate::{with_mode, Mode};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Verdict-key tag for whole-function verification verdicts (audit passes
+/// use their own tags so the namespaces never collide in one cache file).
+pub const TAG_VERIFY: u8 = 0;
 
 /// The result of verifying one function (all its obligations).
 #[derive(Debug, Clone)]
@@ -122,6 +128,16 @@ impl VerificationReport {
             refuted_fns,
             cached_fns,
         }
+    }
+
+    /// Fraction of functions served from the incremental cache (0.0 when
+    /// the report is empty): the `cache_hit_rate` of BENCH_fig12.json.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.functions.is_empty() {
+            return 0.0;
+        }
+        let cached = self.functions.iter().filter(|f| f.cached).count();
+        cached as f64 / self.functions.len() as f64
     }
 
     /// Groups results per component, sorted by component name.
@@ -266,6 +282,133 @@ impl Verifier {
         }
         report
     }
+
+    /// Persistent incremental verification: functions whose source content
+    /// hash *and* obligation-domain hash both match a verdict in `cache`
+    /// are skipped; everything else is discharged and (if verified) stored.
+    ///
+    /// Staleness gates, in the cache key itself:
+    /// * a changed function body → different [`SourceIndex::anchor_hash`];
+    /// * a changed spec (obligation added/removed/re-kinded/re-trusted) →
+    ///   different [`obligation_signature`];
+    /// * a toolchain/config change → the caller loads the cache under a
+    ///   different config hash, which discards every verdict.
+    ///
+    /// Refuted functions are never stored, so a failure is always
+    /// re-discharged. Obligations whose name cannot be anchored to a
+    /// scanned `fn` span fall back to the whole-workspace hash: they stay
+    /// cacheable on an unchanged tree but go stale on *any* source edit.
+    pub fn verify_incremental(
+        &self,
+        registry: &Registry,
+        cache: &mut VerdictCache,
+        index: &SourceIndex,
+    ) -> VerificationReport {
+        let mut order: Vec<(&'static str, String)> = Vec::new();
+        for o in registry.obligations() {
+            let key = (o.component, o.function.clone());
+            if !order.contains(&key) {
+                order.push(key);
+            }
+        }
+
+        let mut report = VerificationReport::default();
+        for (component, function) in order {
+            let domain_hash = obligation_signature(registry, component, &function);
+            let fn_hash = index.anchor_hash(&function);
+            let key_hash = verdict_key(TAG_VERIFY, component, &function);
+            let lookup_start = Instant::now();
+            if let Some(v) = cache.lookup(key_hash, fn_hash, domain_hash) {
+                report.functions.push(FunctionResult {
+                    component,
+                    function,
+                    // The honest warm cost: the lookup itself, not the
+                    // original discharge — so Figure 12 totals show the
+                    // incremental speedup directly.
+                    duration: lookup_start.elapsed(),
+                    cases: v.cases,
+                    refutations: Vec::new(),
+                    trusted: v.trusted,
+                    cached: true,
+                });
+                continue;
+            }
+            let mut cases = 0u64;
+            let mut refutations = Vec::new();
+            let mut trusted = false;
+            let mut kind_tag = 0u8;
+            let start = Instant::now();
+            for o in registry
+                .obligations()
+                .iter()
+                .filter(|o| o.component == component && o.function == function)
+            {
+                kind_tag = o.kind as u8;
+                let result = with_mode(Mode::Observe, || (o.check)());
+                for v in crate::take_violations() {
+                    refutations.push(v.to_string());
+                }
+                match result {
+                    CheckResult::Verified { cases: c } => cases += c,
+                    CheckResult::Refuted { counterexample } => {
+                        refutations.push(counterexample);
+                        if self.fail_fast {
+                            break;
+                        }
+                    }
+                    CheckResult::Trusted => trusted = true,
+                }
+            }
+            let duration = start.elapsed();
+            if refutations.is_empty() {
+                cache.store(Verdict {
+                    key_hash,
+                    fn_hash,
+                    domain_hash,
+                    cases,
+                    duration_ns: duration.as_nanos().min(u64::MAX as u128) as u64,
+                    trusted,
+                    kind: kind_tag,
+                });
+            }
+            report.functions.push(FunctionResult {
+                component,
+                function,
+                duration,
+                cases,
+                refutations,
+                trusted,
+                cached: false,
+            });
+        }
+        report
+    }
+}
+
+/// The obligation-domain signature of one function: a fingerprint of its
+/// registered contract set (kind, trust, name per obligation). A changed
+/// spec — an obligation added, removed, re-kinded or re-trusted — changes
+/// the signature, the analogue of Flux re-checking a function whose
+/// refinement annotations changed. This is the `domain_hash` half of every
+/// persistent verdict key.
+pub fn obligation_signature(registry: &Registry, component: &str, function: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        hash ^= v;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    };
+    for o in registry
+        .obligations()
+        .iter()
+        .filter(|o| o.component == component && o.function == function)
+    {
+        mix(o.kind as u64 + 1);
+        mix(o.trusted as u64 + 11);
+        for b in o.function.bytes() {
+            mix(b as u64);
+        }
+    }
+    hash
 }
 
 /// A cache of per-function verification results for incremental runs.
@@ -304,23 +447,7 @@ impl VerificationCache {
     /// different kind/trust) invalidates the cache entry — the analogue of
     /// Flux re-checking a function whose spec changed.
     fn signature(&self, registry: &Registry, component: &str, function: &str) -> u64 {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        let mut mix = |v: u64| {
-            hash ^= v;
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        };
-        for o in registry
-            .obligations()
-            .iter()
-            .filter(|o| o.component == component && o.function == function)
-        {
-            mix(o.kind as u64 + 1);
-            mix(o.trusted as u64 + 11);
-            for b in o.function.bytes() {
-                mix(b as u64);
-            }
-        }
-        hash
+        obligation_signature(registry, component, function)
     }
 
     fn lookup(&self, component: &str, function: &str, signature: u64) -> Option<&FunctionResult> {
@@ -568,6 +695,123 @@ mod tests {
         let second = verifier.verify_with_cache(&r, &mut cache);
         assert!(!second.functions[0].cached);
         assert_eq!(second.functions[0].cases, 2);
+    }
+
+    fn index_of(src: &str) -> SourceIndex {
+        SourceIndex::from_files(&[crate::span::scan_text("crates/x/src/lib.rs", src)])
+    }
+
+    #[test]
+    fn incremental_hits_on_unchanged_fn_and_spec() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        let mut r = Registry::new();
+        r.add_fn("c", "anchored_fn", ContractKind::Post, move || {
+            runs2.fetch_add(1, Ordering::SeqCst);
+            CheckResult::Verified { cases: 5 }
+        });
+        let idx = index_of("pub fn anchored_fn() {\n    body();\n}\n");
+        let verifier = Verifier::new();
+        let mut cache = VerdictCache::new(1);
+        let cold = verifier.verify_incremental(&r, &mut cache, &idx);
+        assert!(cold.all_verified());
+        assert!(!cold.functions[0].cached);
+        assert_eq!(cold.cache_hit_rate(), 0.0);
+        let warm = verifier.verify_incremental(&r, &mut cache, &idx);
+        assert!(warm.functions[0].cached);
+        assert_eq!(warm.functions[0].cases, 5);
+        assert_eq!(warm.cache_hit_rate(), 1.0);
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "discharged only once");
+    }
+
+    #[test]
+    fn incremental_rechecks_on_changed_fn_body() {
+        let mut r = Registry::new();
+        r.add_fn("c", "anchored_fn", ContractKind::Post, || {
+            CheckResult::Verified { cases: 1 }
+        });
+        let verifier = Verifier::new();
+        let mut cache = VerdictCache::new(1);
+        let idx = index_of("pub fn anchored_fn() {\n    body();\n}\n");
+        verifier.verify_incremental(&r, &mut cache, &idx);
+        let edited = index_of("pub fn anchored_fn() {\n    EDITED();\n}\n");
+        let warm = verifier.verify_incremental(&r, &mut cache, &edited);
+        assert!(!warm.functions[0].cached, "edited fn must re-discharge");
+    }
+
+    #[test]
+    fn incremental_rechecks_on_changed_spec() {
+        let mut r = Registry::new();
+        r.add_fn("c", "anchored_fn", ContractKind::Post, || {
+            CheckResult::Verified { cases: 1 }
+        });
+        let idx = index_of("pub fn anchored_fn() {\n    body();\n}\n");
+        let verifier = Verifier::new();
+        let mut cache = VerdictCache::new(1);
+        verifier.verify_incremental(&r, &mut cache, &idx);
+        // Same source, one more obligation: the spec changed.
+        r.add_fn("c", "anchored_fn", ContractKind::Pre, || {
+            CheckResult::Verified { cases: 1 }
+        });
+        let warm = verifier.verify_incremental(&r, &mut cache, &idx);
+        assert!(!warm.functions[0].cached, "changed spec must re-discharge");
+        assert_eq!(warm.functions[0].cases, 2);
+    }
+
+    #[test]
+    fn incremental_never_caches_refutations() {
+        let mut r = Registry::new();
+        r.add_fn("c", "bad_fn", ContractKind::Post, || CheckResult::Refuted {
+            counterexample: "x".into(),
+        });
+        let idx = index_of("pub fn bad_fn() {\n    body();\n}\n");
+        let verifier = Verifier::new();
+        let mut cache = VerdictCache::new(1);
+        verifier.verify_incremental(&r, &mut cache, &idx);
+        assert!(cache.is_empty());
+        let again = verifier.verify_incremental(&r, &mut cache, &idx);
+        assert!(!again.functions[0].cached);
+        assert!(!again.all_verified());
+    }
+
+    #[test]
+    fn unanchored_obligations_go_stale_on_any_source_change() {
+        let mut r = Registry::new();
+        r.add_fn("c", "not_in_source", ContractKind::Post, || {
+            CheckResult::Verified { cases: 1 }
+        });
+        let verifier = Verifier::new();
+        let mut cache = VerdictCache::new(1);
+        let idx = index_of("pub fn unrelated() {\n    a();\n}\n");
+        verifier.verify_incremental(&r, &mut cache, &idx);
+        // Unchanged tree: still a hit via the workspace-hash anchor.
+        let warm = verifier.verify_incremental(&r, &mut cache, &idx);
+        assert!(warm.functions[0].cached);
+        // ANY file change (even an unrelated fn) invalidates it.
+        let edited = index_of("pub fn unrelated() {\n    b();\n}\n");
+        let stale = verifier.verify_incremental(&r, &mut cache, &edited);
+        assert!(!stale.functions[0].cached);
+    }
+
+    #[test]
+    fn incremental_round_trips_through_the_file_format() {
+        let mut r = Registry::new();
+        r.add_fn("c", "anchored_fn", ContractKind::Invariant, || {
+            CheckResult::Verified { cases: 9 }
+        });
+        r.add_trusted("c", "axiom", ContractKind::Lemma);
+        let idx = index_of("pub fn anchored_fn() {\n    body();\n}\n");
+        let verifier = Verifier::new();
+        let mut cache = VerdictCache::new(7);
+        verifier.verify_incremental(&r, &mut cache, &idx);
+        let reloaded = VerdictCache::decode(&cache.encode()).unwrap();
+        let mut reloaded = reloaded;
+        let warm = verifier.verify_incremental(&r, &mut reloaded, &idx);
+        assert!(warm.functions.iter().all(|f| f.cached));
+        assert!(warm.functions.iter().any(|f| f.trusted));
+        assert_eq!(warm.functions[0].cases, 9);
     }
 
     #[test]

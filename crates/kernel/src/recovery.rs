@@ -49,6 +49,11 @@ pub fn backoff_delay(base: u64, max: u64, attempt: u32) -> u64 {
 /// → restart. Returns the number of checked cases.
 fn check_recovery(chip: &ChipProfile, density: usize) -> Result<u64, String> {
     let mut cases = 0u64;
+    // The densest round allocates `density` grants of 64 bytes (plus
+    // per-grant alignment), so the grant arena must scale with the effort:
+    // at the FULL density the fixed 1 KiB arena of earlier revisions ran
+    // out and refuted the obligation against its own harness.
+    let kernel_reserved = 1024usize.max((density + 1) * 128);
     for round in 0..density.max(1) {
         let mut k = Kernel::boot(Flavor::Granular, chip);
         let img = flash_app(
@@ -57,7 +62,7 @@ fn check_recovery(chip: &ChipProfile, density: usize) -> Result<u64, String> {
             "r",
             0x1000,
             3000,
-            1024,
+            kernel_reserved,
         )
         .map_err(|e| format!("flash: {e:?}"))?;
         let pid = k.load_process(&img).map_err(|e| format!("load: {e:?}"))?;
