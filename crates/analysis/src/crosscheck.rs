@@ -58,6 +58,7 @@ pub fn workspace_registry() -> Registry {
     tt_fluxarm::contracts::register_obligations(&mut registry, 1);
     tt_kernel::obligations::register_obligations(&mut registry, 1);
     tt_kernel::recovery::register_obligations(&mut registry, 1);
+    tt_kernel::explore::register_obligations(&mut registry, 1);
     tt_hw::obligations::register_obligations(&mut registry, 1);
     registry
 }

@@ -13,16 +13,29 @@
 //!
 //! With `--check`, exits non-zero on any oracle failure (the CI gate).
 //! With `--json [path]`, writes `BENCH_fault.json` with per-chip recovery
-//! latency (warm vs cold commit cache) and campaign counters.
+//! latency (warm vs cold commit cache) and campaign counters. With
+//! `--explore`, the interrupt-interleaving explorer rides along: every
+//! chip's clean and first two seeded baselines are swept for
+//! schedule-sensitive oracle failures (one representative per DPOR
+//! commuting class), the planted commit-window demonstration runs, and
+//! both fold into the `--check` verdict.
 
 use std::process::ExitCode;
 
+use tt_bench::explore::{planted_demo, render as render_explore, run_explore_fleet};
 use tt_bench::reports;
+use tt_hw::platform::{ALL_CHIPS, NRF52840DK};
 use tt_kernel::campaign::{render_report, run_campaign};
+use tt_kernel::pool;
+
+/// Injected baselines per chip the folded explorer sweeps (the
+/// standalone `e_explore` bin takes `--seeds` for wider sweeps).
+const EXPLORE_SEEDS: u64 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let explore = args.iter().any(|a| a == "--explore");
     let seeds: u64 = args
         .iter()
         .position(|a| a == "--seeds")
@@ -43,7 +56,27 @@ fn main() -> ExitCode {
     print!("{}", render_report(&reports, seeds));
     println!("wall clock: {wall_ms:.0} ms");
 
-    let failures: usize = reports.iter().map(|r| r.failures.len()).sum();
+    let mut failures: usize = reports.iter().map(|r| r.failures.len()).sum();
+
+    if explore {
+        let fleet = run_explore_fleet(
+            &ALL_CHIPS,
+            EXPLORE_SEEDS,
+            None,
+            pool::default_threads(),
+            None,
+        );
+        let demo = planted_demo(&NRF52840DK, seeds.min(25));
+        print!("{}", render_explore(&fleet, &demo));
+        failures += fleet.failures().len();
+        // Detector power is part of the folded gate: losing the planted
+        // bug (or tripping the control kernel) is a failure even though
+        // the campaign itself stayed green.
+        if demo.seed_failures > 0 || demo.outcome.findings.is_empty() || demo.control_failures > 0 {
+            eprintln!("explore: planted-bug demonstration lost detector power");
+            failures += 1;
+        }
+    }
 
     if let Some(path) = json_path {
         let doc = reports::campaign_json(&reports, seeds, wall_ms);

@@ -57,6 +57,7 @@ pub fn build_registry(effort: Effort) -> Registry {
     tt_fluxarm::contracts::register_obligations(&mut registry, effort.interrupt_depth);
     tt_kernel::obligations::register_obligations(&mut registry, effort.granular_density);
     tt_kernel::recovery::register_obligations(&mut registry, effort.granular_density);
+    tt_kernel::explore::register_obligations(&mut registry, effort.granular_density);
     tt_hw::obligations::register_obligations(&mut registry, effort.granular_density);
     registry
 }

@@ -367,7 +367,9 @@ pub fn corpus_record(outcome: &UnitOutcome) -> CorpusRecord {
         chip: outcome.chip.min(u8::MAX as usize) as u8,
         cold: outcome.cold,
         killed: outcome.killed,
+        clean: false,
         seed: outcome.seed,
+        schedule: 0,
         fired: outcome.fired.min(u64::from(u16::MAX)) as u16,
         restarts: outcome.restarts.min(u32::from(u16::MAX)) as u16,
         recoveries: outcome.recoveries.min(u32::from(u16::MAX)) as u16,
@@ -848,7 +850,9 @@ mod tests {
                 chip: 1,
                 cold: true,
                 killed: false,
+                clean: false,
                 seed: 42,
+                schedule: 0,
                 fired: 1,
                 restarts: 0,
                 recoveries: 0,
@@ -860,7 +864,9 @@ mod tests {
                 chip: 0,
                 cold: false,
                 killed: true,
+                clean: false,
                 seed: 7,
+                schedule: 0,
                 fired: 3,
                 restarts: 5,
                 recoveries: 5,

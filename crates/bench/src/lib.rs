@@ -15,6 +15,7 @@
 //! target, recorded in `EXPERIMENTS.md`.
 
 pub mod e62;
+pub mod explore;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -66,6 +66,12 @@ pub struct SimContext {
     /// that already holds `current_pid`, instead of touching the
     /// engine's own (buffer-carrying) thread-local.
     pub injection_target: Cell<u32>,
+    /// Whether an interrupt schedule is armed on this thread, kept in
+    /// sync by `tt_hw::sched::{arm, disarm}`. Every arrival-point hook in
+    /// the kernel answers "no schedule, nothing to do" off this one flag
+    /// before touching the engine's own (buffer-carrying) thread-local —
+    /// the same fast-path discipline as [`Self::injection_target`].
+    pub sched_armed: Cell<bool>,
 }
 
 impl SimContext {
@@ -95,6 +101,7 @@ impl SimContext {
             trace_enabled: Cell::new(false),
             current_pid: Cell::new(NO_PID),
             injection_target: Cell::new(NO_TARGET),
+            sched_armed: Cell::new(false),
         }
     }
 }
@@ -129,6 +136,7 @@ mod tests {
             assert!(!c.trace_enabled.get());
             assert_eq!(c.current_pid.get(), NO_PID);
             assert_eq!(c.injection_target.get(), NO_TARGET);
+            assert!(!c.sched_armed.get());
         });
     }
 

@@ -24,6 +24,7 @@ pub mod perms;
 pub mod platform;
 pub mod registers;
 pub mod riscv;
+pub mod sched;
 pub mod trace;
 
 pub use addr::{AddrRange, PtrU8};

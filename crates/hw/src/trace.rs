@@ -222,6 +222,28 @@ pub enum TraceEvent {
         /// XOR mask for argument corruption, 0 otherwise.
         info: u32,
     },
+    /// A scheduled timer interrupt arrived at an adversarial boundary
+    /// ([`crate::sched`]) and the kernel entered its service routine.
+    /// Recorded before any service work, so downstream divergence can be
+    /// attributed to the arrival that precedes it.
+    IrqEnter {
+        /// Process context the interrupt landed in ([`NO_PID`] when it
+        /// landed outside any process slice).
+        pid: u32,
+        /// The boundary the arrival was scheduled at.
+        point: crate::sched::ArrivalPoint,
+    },
+    /// The interrupt service routine returned to the interrupted context.
+    IrqExit {
+        /// Process context being resumed.
+        pid: u32,
+    },
+    /// The scheduler exited because every live process yielded with no
+    /// alarm pending and no restart due — a wedged workload, distinct
+    /// from the everyone-`Exited` completion path (which ends a trace
+    /// without this marker). Lets the oracle tell a clean run from a
+    /// deadlocked one instead of inferring it from trace truncation.
+    IdleExit,
 }
 
 /// A drained trace: the surviving events in record order plus how many
@@ -721,6 +743,47 @@ mod tests {
         assert!(std::panic::catch_unwind(|| install_prefix(&[ev(1)])).is_err());
         enable(2);
         assert!(std::panic::catch_unwind(|| install_prefix(&[ev(1); 3])).is_err());
+        disable();
+    }
+
+    #[test]
+    fn with_events_on_a_completely_full_wrapped_ring() {
+        // Fill past capacity so the ring is full *and* wrapped: write has
+        // lapped back to the head position (head == write with live data
+        // in every slot), the rarest slice shape the streaming oracle can
+        // see. capacity 4, 6 records → write = 2, len = 4, head = 2.
+        enable(4);
+        for v in 0..6 {
+            record(ev(v));
+        }
+        with_events(|a, b, dropped| {
+            assert_eq!(dropped, 2);
+            assert!(!a.is_empty() && !b.is_empty(), "full ring must wrap");
+            assert_eq!(a.len() + b.len(), 4);
+            let joined: Vec<TraceEvent> = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(joined, (2..6).map(ev).collect::<Vec<_>>());
+        });
+        // with_events leaves the ring untouched: draining afterwards sees
+        // the identical live region.
+        let t = take();
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.events, (2..6).map(ev).collect::<Vec<_>>());
+        disable();
+    }
+
+    #[test]
+    fn with_events_on_a_full_unwrapped_ring_uses_one_slice() {
+        // Exactly capacity events with write back at 0: full but the live
+        // region is contiguous, so the second slice must be empty.
+        enable(4);
+        for v in 0..4 {
+            record(ev(v));
+        }
+        with_events(|a, b, dropped| {
+            assert_eq!(dropped, 0);
+            assert_eq!(a, (0..4).map(ev).collect::<Vec<_>>());
+            assert!(b.is_empty());
+        });
         disable();
     }
 

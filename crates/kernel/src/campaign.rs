@@ -29,6 +29,7 @@ use crate::trace::{
 use tt_contracts::{take_violations, with_mode, Mode};
 use tt_hw::injection::{self, InjectionPlan};
 use tt_hw::platform::{ChipProfile, ALL_CHIPS};
+use tt_hw::sched::{self, InterruptSchedule, ALL_ARRIVAL_POINTS};
 use tt_hw::trace;
 
 /// Pid the injection plans target.
@@ -38,7 +39,7 @@ pub const BYSTANDERS: usize = 2;
 
 const TRACE_CAPACITY: usize = 65_536;
 const MAX_TICKS: u64 = 400;
-const MAX_RESTARTS: u32 = 5;
+pub(crate) const MAX_RESTARTS: u32 = 5;
 const BASE_DELAY: u64 = 2;
 const MAX_DELAY: u64 = 16;
 
@@ -152,7 +153,7 @@ fn mk_bystander_2() -> Box<dyn App> {
 }
 
 /// Restart factories for the three campaign workloads, in pid order.
-const CAMPAIGN_FACTORIES: [AppFactory; 3] = [mk_victim, mk_bystander_1, mk_bystander_2];
+pub(crate) const CAMPAIGN_FACTORIES: [AppFactory; 3] = [mk_victim, mk_bystander_1, mk_bystander_2];
 
 /// Fresh program state for the three campaign workloads, in pid order.
 fn campaign_apps() -> Vec<Box<dyn App>> {
@@ -170,6 +171,9 @@ pub struct RunRecord {
     pub seed: Option<u64>,
     /// Number of injections that actually fired.
     pub fired: u64,
+    /// Number of scheduled interrupt arrivals that fired (0 for runs
+    /// without an armed [`InterruptSchedule`]).
+    pub irq_fired: u64,
     /// Contract violations observed during the run (rendered).
     pub violations: Vec<String>,
     /// Terminal state per pid.
@@ -195,7 +199,7 @@ pub struct RunRecord {
 /// is the exact state [`MachineSnapshot::capture`] freezes for the fleet
 /// path — [`run_one`] and [`FleetRunner`] share it so a restored run has
 /// the same starting point as a fresh boot.
-fn boot_campaign_kernel(chip: &ChipProfile) -> Kernel {
+pub(crate) fn boot_campaign_kernel(chip: &ChipProfile) -> Kernel {
     let mut k = Kernel::boot(Flavor::Granular, chip);
     k.fault_policy = FaultPolicy::RestartWithBackoff {
         max_restarts: MAX_RESTARTS,
@@ -235,6 +239,7 @@ fn collect_record_with(kernel: &Kernel, seed: Option<u64>, fired: u64, trace: Tr
     RunRecord {
         seed,
         fired,
+        irq_fired: 0,
         violations,
         states: kernel.processes.iter().map(|p| p.state.clone()).collect(),
         restarts: kernel.restarts[VICTIM],
@@ -257,10 +262,26 @@ fn collect_record_with(kernel: &Kernel, seed: Option<u64>, fired: u64, trace: Tr
 /// exists during boot, so arming before boot and arming after restore
 /// see the same occurrence stream).
 pub fn run_one(chip: &ChipProfile, seed: Option<u64>) -> RunRecord {
+    run_one_scheduled(chip, seed, None)
+}
+
+/// [`run_one`] with an optional [`InterruptSchedule`] armed alongside
+/// the injection plan — the fresh-boot anchor the scheduled fleet path
+/// is tested against. Boot passes no arrival-point hooks, so arming
+/// before boot (here) and arming after a post-boot restore
+/// ([`FleetRunner`]) count boundary occurrences identically.
+pub fn run_one_scheduled(
+    chip: &ChipProfile,
+    seed: Option<u64>,
+    schedule: Option<&InterruptSchedule>,
+) -> RunRecord {
     tt_hw::cycles::reset();
     trace::enable(TRACE_CAPACITY);
     if let Some(s) = seed {
         injection::arm(InjectionPlan::from_seed(s, VICTIM as u32));
+    }
+    if let Some(s) = schedule {
+        sched::arm(s.clone());
     }
     let kernel = with_mode(Mode::Observe, || {
         let mut k = boot_campaign_kernel(chip);
@@ -272,7 +293,14 @@ pub fn run_one(chip: &ChipProfile, seed: Option<u64>) -> RunRecord {
     } else {
         0
     };
-    collect_record(&kernel, seed, fired)
+    let irq_fired = if schedule.is_some() {
+        sched::disarm()
+    } else {
+        0
+    };
+    let mut record = collect_record(&kernel, seed, fired);
+    record.irq_fired = irq_fired;
+    record
 }
 
 // ---------------------------------------------------------------------
@@ -311,6 +339,12 @@ struct Midrun {
     /// the prefix — replayed into `injection::arm_with_seen` so resumed
     /// plans count occurrences exactly like full runs.
     seen: [u32; tt_hw::injection::ALL_POINTS.len()],
+    /// Arrival-point occurrence counts the prefix tick passed — the
+    /// schedule analogue of `seen`, captured with a trace-neutral empty
+    /// schedule armed and replayed into `sched::arm_with_seen` so
+    /// resumed schedules count boundary occurrences exactly like full
+    /// runs.
+    sched_seen: [u32; ALL_ARRIVAL_POINTS.len()],
     /// RAM pages (and the flash flag) the prefix dirtied relative to the
     /// boot snapshot. Merged into live tracking whenever the runner
     /// switches restore targets, so incremental restore never skips a
@@ -350,6 +384,9 @@ enum RestorePoint {
 pub struct FleetRunner {
     chip: ChipProfile,
     kernel: Kernel,
+    /// Restart factories for the scenario's workloads, in pid order —
+    /// also the source of each run's fresh program state.
+    factories: &'static [AppFactory],
     snapshot: MachineSnapshot,
     /// Violations the boot itself produced (none, for a healthy kernel),
     /// drained at capture time; prepended to every run's record so a
@@ -373,18 +410,38 @@ impl FleetRunner {
     /// snapshot. The boot executes under [`Mode::Observe`] with tracing
     /// enabled, exactly like [`run_one`]'s prelude.
     pub fn new(chip: &ChipProfile) -> Self {
+        Self::with_scenario(chip, boot_campaign_kernel, &CAMPAIGN_FACTORIES)
+    }
+
+    /// [`FleetRunner::new`] over a custom scenario: `boot` builds the
+    /// kernel (flavor, fault policy, knobs, processes flashed and
+    /// loaded) and `factories` supply each pid's program, in pid order.
+    /// The schedule explorer uses this to run planted-bug kernels and
+    /// asymmetric workloads through the exact snapshot/restore machinery
+    /// the campaign uses.
+    pub fn with_scenario(
+        chip: &ChipProfile,
+        boot: fn(&ChipProfile) -> Kernel,
+        factories: &'static [AppFactory],
+    ) -> Self {
         let t0 = std::time::Instant::now();
         tt_hw::cycles::reset();
         trace::enable(TRACE_CAPACITY);
-        let mut kernel = with_mode(Mode::Observe, || boot_campaign_kernel(chip));
+        let mut kernel = with_mode(Mode::Observe, || boot(chip));
+        assert_eq!(
+            kernel.processes.len(),
+            factories.len(),
+            "one factory per loaded process"
+        );
         let snapshot = MachineSnapshot::capture(&mut kernel);
         let boot_violations: Vec<String> =
             take_violations().iter().map(|v| format!("{v:?}")).collect();
-        let midrun = Self::capture_midrun(&mut kernel, &snapshot);
+        let midrun = Self::capture_midrun(&mut kernel, &snapshot, factories);
         trace::disable();
         Self {
             chip: *chip,
             kernel,
+            factories,
             snapshot,
             boot_violations,
             midrun: Some(midrun),
@@ -401,20 +458,29 @@ impl FleetRunner {
     /// exactly one scheduler tick with an *empty* counting plan armed
     /// (trace-neutral — its hooks stay identity and it records no
     /// events, but the engine counts the victim's injection-point
-    /// occurrences), and capture.
-    fn capture_midrun(kernel: &mut Kernel, boot: &MachineSnapshot) -> Midrun {
+    /// occurrences), and capture. An empty [`InterruptSchedule`] rides
+    /// along — equally trace-neutral — so the prefix's arrival-point
+    /// occurrence counts are captured too.
+    fn capture_midrun(
+        kernel: &mut Kernel,
+        boot: &MachineSnapshot,
+        factories: &'static [AppFactory],
+    ) -> Midrun {
         boot.restore(kernel);
         injection::arm(InjectionPlan {
             seed: 0,
             target_pid: VICTIM as u32,
             injections: Vec::new(),
         });
-        let mut apps = campaign_apps();
+        sched::arm(InterruptSchedule::empty());
+        let mut apps: Vec<Box<dyn App>> = factories.iter().map(|mk| mk()).collect();
         with_mode(Mode::Observe, || {
-            kernel.run_with_factories(&mut apps, Some(&CAMPAIGN_FACTORIES), 1);
+            kernel.run_with_factories(&mut apps, Some(factories), 1);
         });
         let seen = injection::seen_counts().expect("counting plan armed");
         injection::disarm();
+        let sched_seen = sched::seen_counts().expect("counting schedule armed");
+        sched::disarm();
         // Order matters: the prefix dirty state must be read *before*
         // capture re-arms (and clears) tracking.
         let prefix_dirty = kernel.mem.dirty_state();
@@ -424,9 +490,18 @@ impl FleetRunner {
             snapshot,
             apps,
             seen,
+            sched_seen,
             prefix_dirty,
             prefix_violations,
         }
+    }
+
+    /// Raw events in the installed post-boot snapshot prefix — the
+    /// offset from which a drained full-run trace starts counting
+    /// arrival-point occurrences (boot passes no hooks, so event index
+    /// `boot_events()` is boundary occurrence 0 for every point).
+    pub fn boot_events(&self) -> usize {
+        self.snapshot.boot_events()
     }
 
     /// The chip this runner was booted for.
@@ -476,27 +551,57 @@ impl FleetRunner {
         self.run_plan_phased(plan).0
     }
 
-    /// Restores the best eligible snapshot, arms `plan`, and executes
-    /// the run body: the shared front half of
-    /// [`FleetRunner::run_plan_phased`] and the oracle path. Returns
-    /// `(seed, fired, midrun, restore_ns, run_ns)`; the per-run sinks
+    /// [`FleetRunner::run_plan`] with an [`InterruptSchedule`] armed
+    /// alongside the plan: each scheduled arrival fires the timer
+    /// interrupt at its boundary occurrence. Mid-run eligibility
+    /// requires *both* engines to stay clear of the first tick; a
+    /// schedule (or plan) firing inside the prefix falls back to the
+    /// post-boot snapshot and a full run. The returned record carries
+    /// the arrival count in [`RunRecord::irq_fired`].
+    pub fn run_scheduled(
+        &mut self,
+        plan: Option<InjectionPlan>,
+        schedule: &InterruptSchedule,
+    ) -> RunRecord {
+        let (seed, fired, irq_fired, use_midrun, _, _) = self.execute_plan(plan, Some(schedule));
+        let mut record = collect_record(&self.kernel, seed, fired);
+        record.irq_fired = irq_fired;
+        self.merge_prefix_violations(record, use_midrun)
+    }
+
+    /// Restores the best eligible snapshot, arms `plan` (and
+    /// `schedule`), and executes the run body: the shared front half of
+    /// [`FleetRunner::run_plan_phased`], the oracle path, and
+    /// [`FleetRunner::run_scheduled`]. Returns `(seed, fired,
+    /// irq_fired, midrun, restore_ns, run_ns)`; the per-run sinks
     /// (trace ring, violations) are still live and undrained on return.
-    fn execute_plan(&mut self, plan: Option<InjectionPlan>) -> (Option<u64>, u64, bool, u64, u64) {
+    fn execute_plan(
+        &mut self,
+        plan: Option<InjectionPlan>,
+        schedule: Option<&InterruptSchedule>,
+    ) -> (Option<u64>, u64, u64, bool, u64, u64) {
         let seed = plan.as_ref().map(|p| p.seed);
         let armed = plan.is_some();
+        let sched_armed = schedule.is_some();
         let t0 = std::time::Instant::now();
-        // Mid-run eligibility: a plan scheduling an injection inside the
-        // first tick must execute the prefix live.
-        let use_midrun = match (&self.midrun, &plan) {
-            (Some(m), Some(p)) => !p.fires_within(&m.seen),
-            (Some(_), None) => true,
-            (None, _) => false,
+        // Mid-run eligibility: a plan scheduling an injection — or a
+        // schedule placing an arrival — inside the first tick must
+        // execute the prefix live.
+        let use_midrun = match &self.midrun {
+            Some(m) => {
+                plan.as_ref().is_none_or(|p| !p.fires_within(&m.seen))
+                    && schedule.is_none_or(|s| !s.fires_within(&m.sched_seen))
+            }
+            None => false,
         };
-        let mut apps = if use_midrun {
+        let mut apps: Vec<Box<dyn App>> = if use_midrun {
             self.restore_midrun();
             let m = self.midrun.as_ref().expect("mid-run snapshot captured");
             if let Some(p) = plan {
                 injection::arm_with_seen(p, m.seen);
+            }
+            if let Some(s) = schedule {
+                sched::arm_with_seen(s.clone(), m.sched_seen);
             }
             m.apps
                 .iter()
@@ -507,17 +612,21 @@ impl FleetRunner {
             if let Some(p) = plan {
                 injection::arm(p);
             }
-            campaign_apps()
+            if let Some(s) = schedule {
+                sched::arm(s.clone());
+            }
+            self.factories.iter().map(|mk| mk()).collect()
         };
         let t1 = std::time::Instant::now();
         with_mode(Mode::Observe, || {
             self.kernel
-                .run_with_factories(&mut apps, Some(&CAMPAIGN_FACTORIES), MAX_TICKS);
+                .run_with_factories(&mut apps, Some(self.factories), MAX_TICKS);
         });
         let fired = if armed { injection::disarm() } else { 0 };
+        let irq_fired = if sched_armed { sched::disarm() } else { 0 };
         let restore_ns = (t1 - t0).as_nanos() as u64;
         let run_ns = t1.elapsed().as_nanos() as u64;
-        (seed, fired, use_midrun, restore_ns, run_ns)
+        (seed, fired, irq_fired, use_midrun, restore_ns, run_ns)
     }
 
     /// Prepends the boot (and, for mid-run resumes, prefix) violations
@@ -539,7 +648,7 @@ impl FleetRunner {
 
     /// [`FleetRunner::run_plan`] with the per-phase wall-clock breakdown.
     pub fn run_plan_phased(&mut self, plan: Option<InjectionPlan>) -> (RunRecord, RunPhases) {
-        let (seed, fired, use_midrun, restore_ns, run_ns) = self.execute_plan(plan);
+        let (seed, fired, _, use_midrun, restore_ns, run_ns) = self.execute_plan(plan, None);
         let t2 = std::time::Instant::now();
         let record = collect_record(&self.kernel, seed, fired);
         let record = self.merge_prefix_violations(record, use_midrun);
@@ -566,7 +675,7 @@ impl FleetRunner {
         plan: Option<InjectionPlan>,
         reference: &ChipReference,
     ) -> (RunRecord, RunPhases, OracleCheck) {
-        let (seed, fired, use_midrun, restore_ns, run_ns) = self.execute_plan(plan);
+        let (seed, fired, _, use_midrun, restore_ns, run_ns) = self.execute_plan(plan, None);
         let t2 = std::time::Instant::now();
         let skip = if use_midrun {
             let len = self.midrun.as_ref().map_or(0, |m| m.snapshot.boot_events());
@@ -633,10 +742,10 @@ impl FleetRunner {
     /// gate in `ci/bench_baseline.json`.
     pub fn first_tick_probe(&mut self) {
         self.restore_boot();
-        let mut apps = campaign_apps();
+        let mut apps: Vec<Box<dyn App>> = self.factories.iter().map(|mk| mk()).collect();
         with_mode(Mode::Observe, || {
             self.kernel
-                .run_with_factories(&mut apps, Some(&CAMPAIGN_FACTORIES), 1);
+                .run_with_factories(&mut apps, Some(self.factories), 1);
         });
         drop(take_violations());
         trace::recycle(trace::take());
@@ -798,7 +907,7 @@ fn full_stream_matches<'a>(
 /// events are the bulk of a fired trace: filter on the raw event's pid
 /// (the observable projection masks values, never pids) before paying
 /// for the projection itself.
-fn bystander_streams_match<'a>(
+pub(crate) fn bystander_streams_match<'a>(
     events: impl Iterator<Item = &'a TraceEvent>,
     reference_by_pid: &[Vec<TraceEvent>],
     start: [usize; BYSTANDERS],
@@ -1755,6 +1864,97 @@ mod tests {
             first, second,
             "minimized schedule differs across re-invocations"
         );
+    }
+
+    #[test]
+    fn scheduled_runs_on_restored_machines_match_fresh_boots() {
+        use tt_hw::sched::ArrivalPoint;
+        // An early arrival (fires inside tick 1, forcing the post-boot
+        // fallback), a late one (mid-run eligible), and the empty
+        // schedule (pure occurrence counting) — each must make the
+        // fleet path byte-identical to a fresh boot with the same
+        // schedule armed.
+        let schedules = [
+            InterruptSchedule::single(ArrivalPoint::SyscallEnter, 0),
+            InterruptSchedule::single(ArrivalPoint::SchedulerDecision, 8),
+            InterruptSchedule::single(ArrivalPoint::MpuCommit, 12),
+            InterruptSchedule::empty(),
+        ];
+        for chip in [&NRF52840DK, &HIFIVE1] {
+            let mut runner = FleetRunner::new(chip);
+            for schedule in &schedules {
+                for seed in [None, Some(7)] {
+                    let fresh = run_one_scheduled(chip, seed, Some(schedule));
+                    let restored = runner.run_scheduled(
+                        seed.map(|s| InjectionPlan::from_seed(s, VICTIM as u32)),
+                        schedule,
+                    );
+                    let ctx = format!("{} seed {seed:?} schedule {:#x}", chip.name, schedule.id());
+                    assert_eq!(
+                        fresh.trace.events, restored.trace.events,
+                        "{ctx}: Full-scope trace diverged"
+                    );
+                    assert_eq!(fresh.violations, restored.violations, "{ctx}: violations");
+                    assert_eq!(fresh.states, restored.states, "{ctx}: states");
+                    assert_eq!(fresh.fired, restored.fired, "{ctx}: fired");
+                    assert_eq!(fresh.irq_fired, restored.irq_fired, "{ctx}: irq_fired");
+                    trace::recycle(fresh.trace);
+                    trace::recycle(restored.trace);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_trace_neutral() {
+        // An armed-but-empty schedule exercises every arrival-point
+        // hook's counting path; the run must stay byte-identical to one
+        // with no schedule armed at all.
+        let plain = run_one(&NRF52840DK, Some(3));
+        let counted = run_one_scheduled(&NRF52840DK, Some(3), Some(&InterruptSchedule::empty()));
+        assert_eq!(plain.trace.events, counted.trace.events);
+        assert_eq!(plain.violations, counted.violations);
+        assert_eq!(counted.irq_fired, 0);
+        trace::recycle(plain.trace);
+        trace::recycle(counted.trace);
+    }
+
+    #[test]
+    fn scheduled_arrivals_fire_and_perturb_only_nonobservably_on_a_correct_kernel() {
+        use tt_hw::sched::ArrivalPoint;
+        // On the correct kernel an arrival that fires must leave IRQ
+        // markers in the Full trace while every bystander's Observable
+        // stream stays byte-identical to the reference.
+        let reference = chip_reference(&NRF52840DK);
+        let mut runner = FleetRunner::new(&NRF52840DK);
+        let mut fired_somewhere = false;
+        for at in [0, 5, 17] {
+            let run = runner.run_scheduled(
+                None,
+                &InterruptSchedule::single(ArrivalPoint::SyscallExit, at),
+            );
+            if run.irq_fired > 0 {
+                fired_somewhere = true;
+                assert!(
+                    run.trace
+                        .events
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::IrqEnter { .. })),
+                    "fired arrival left no IrqEnter marker"
+                );
+            }
+            assert!(run.violations.is_empty(), "{:?}", run.violations);
+            assert!(
+                bystander_streams_match(
+                    run.trace.events.iter(),
+                    &reference.by_pid,
+                    [0; BYSTANDERS]
+                ),
+                "at {at}: bystander stream diverged under a scheduled arrival"
+            );
+            trace::recycle(run.trace);
+        }
+        assert!(fired_somewhere, "no scheduled arrival fired at all");
     }
 
     proptest! {

@@ -16,6 +16,7 @@ use crate::process::{Flavor, Process, ProcessError, ProcessState};
 use tt_hw::cycles::{charge, Cost};
 use tt_hw::mem::{AccessType, BusFault, PhysicalMemory, Privilege};
 use tt_hw::platform::ChipProfile;
+use tt_hw::sched::ArrivalPoint;
 use tt_hw::trace::{self, RecoveryStep, SwitchDir, SyscallKind, TraceEvent};
 use tt_hw::PtrU8;
 
@@ -145,10 +146,27 @@ pub struct Kernel {
     /// fault injection, but the knob keeps the baseline scheduler loop
     /// byte-identical to PR 3).
     pub mpu_scrub: bool,
+    /// PLANTED BUG knob for the schedule explorer's regression tests
+    /// (default `false`, never set outside them). When on, the
+    /// commit-boundary path (`Kernel::commit_mpu`) computes its
+    /// elide-the-commit verdict *before* the interrupt arrival window and
+    /// acts on it *after* — a classic TOCTOU. With no interrupt in the
+    /// window the verdict is still fresh and the kernel behaves
+    /// correctly (which is why seed-only campaigns cannot see this); an
+    /// interrupt that rewrites the register file inside the window (a
+    /// front-run restart) makes the stale verdict re-arm another
+    /// process's configuration without recommitting.
+    pub commit_window_bug: bool,
     /// Tick at which a faulted process's backoff restart is due, per pid.
     /// `pub(crate)` (like the fields below) so [`crate::snapshot`] can
     /// capture and restore it without widening the public API.
     pub(crate) restart_due: Vec<Option<u64>>,
+    /// Set when the interrupt service routine front-ran a backoff restart
+    /// (`Kernel::interrupt_now`): the kernel side is done but the fresh
+    /// program instance cannot be installed from inside a syscall (the
+    /// `apps` slice lives with the scheduler). The scheduler consumes the
+    /// flag before next stepping the pid.
+    pub(crate) pending_respawn: Vec<bool>,
     /// Pending upcall per pid.
     pub(crate) upcalls: Vec<Option<Upcall>>,
     /// Driver subscriptions per pid.
@@ -186,7 +204,9 @@ impl Kernel {
             recoveries: Vec::new(),
             recovery_cycles: Vec::new(),
             mpu_scrub: false,
+            commit_window_bug: false,
             restart_due: Vec::new(),
+            pending_respawn: Vec::new(),
             upcalls: Vec::new(),
             subscriptions: Vec::new(),
             ram_cursor: chip.map.ram.start,
@@ -214,6 +234,7 @@ impl Kernel {
         self.recoveries.push(0);
         self.recovery_cycles.push(0);
         self.restart_due.push(None);
+        self.pending_respawn.push(false);
         trace::record(TraceEvent::ProcessLoad { pid: pid as u32 });
         Ok(pid)
     }
@@ -244,6 +265,108 @@ impl Kernel {
         self.restart_due[pid] = None;
         trace::record(TraceEvent::ProcessRestart { pid: pid as u32 });
         Ok(())
+    }
+
+    // ---- Interrupt arrival points (schedule explorer) -----------------
+
+    /// One arrival-point hook. With no schedule armed this is a single
+    /// thread-local flag load ([`tt_hw::sched::arrival`]'s fast path);
+    /// with a schedule armed it counts the occurrence and, when the
+    /// schedule names this one, services the interrupt right here —
+    /// *inside* whatever kernel boundary the caller placed the hook at.
+    ///
+    /// `pid` is the process context the interrupt lands in (the one
+    /// whose slice or syscall is being cut).
+    fn maybe_interrupt(&mut self, pid: usize, point: ArrivalPoint) {
+        if tt_hw::sched::arrival(point) {
+            self.interrupt_now(pid, point);
+        }
+    }
+
+    /// The simulated timer interrupt service routine: models the SysTick
+    /// for tick `t+1` firing *early*, at an adversarial boundary inside
+    /// tick `t`. It front-runs exactly the timer work the scheduler
+    /// would otherwise do at the top of the next tick — due alarms and
+    /// due backoff restarts — so in a correct kernel a scheduled run
+    /// reorders work across the boundary without inventing or losing
+    /// any.
+    ///
+    /// A front-run restart rewrites the register file to the restarted
+    /// process's configuration. On exception return the ISR therefore
+    /// re-commits the *interrupted* process's configuration — except at
+    /// [`MpuCommit`](ArrivalPoint::MpuCommit) arrivals,
+    /// where the definition of the point is that an unconditional commit
+    /// follows immediately (see `Kernel::commit_mpu`); skipping the
+    /// epilogue there is precisely what makes the commit boundary the
+    /// window the planted bug falls into.
+    fn interrupt_now(&mut self, pid: usize, point: ArrivalPoint) {
+        trace::record(TraceEvent::IrqEnter {
+            pid: pid as u32,
+            point,
+        });
+        charge(Cost::Exception); // Interrupt entry.
+        let horizon = self.ticks + 1;
+        for (p, value) in self.capsules.fire_due_alarms(horizon) {
+            self.deliver_upcall(p, driver::ALARM, value);
+        }
+        let mut perturbed = false;
+        for v in 0..self.processes.len() {
+            if self.restart_due[v].is_some_and(|due| horizon >= due) {
+                self.restart_due[v] = None;
+                let (restarted, cycles) = tt_hw::cycles::measure(|| self.restart_process(v));
+                self.recovery_cycles[v] += cycles;
+                if restarted.is_ok() {
+                    // The program respawn needs the scheduler's `apps`
+                    // slice; defer it (consumed before `v` next steps).
+                    self.pending_respawn[v] = true;
+                } else {
+                    trace::record(TraceEvent::Recovery {
+                        pid: v as u32,
+                        step: RecoveryStep::RestartExhausted,
+                    });
+                    self.kill_process(v);
+                }
+                perturbed = true;
+            }
+        }
+        if perturbed && point != ArrivalPoint::MpuCommit {
+            // Exception-return epilogue: the restart committed another
+            // process's configuration; re-program the interrupted
+            // process's before resuming it. Quiet (no `MpuCommit` event):
+            // this is interrupt plumbing, not a scheduling commit point,
+            // and the oracle compares scheduled runs against references
+            // that never take an interrupt.
+            self.processes[pid].restore_mpu_after_irq();
+        }
+        charge(Cost::Exception); // Interrupt return.
+        trace::record(TraceEvent::IrqExit { pid: pid as u32 });
+    }
+
+    /// Commits `pid`'s protection configuration at a scheduling boundary
+    /// — the stage→commit window the schedule explorer probes, hooked as
+    /// an [`MpuCommit`](ArrivalPoint::MpuCommit) arrival
+    /// point *before* the commit.
+    ///
+    /// Correct kernel: whatever an interrupt inside the window did to
+    /// the register file, `setup_mpu` below re-establishes this
+    /// process's configuration — its elide verdict and the elide action
+    /// are atomic with respect to the window. With
+    /// [`Kernel::commit_window_bug`] set, verdict and action straddle
+    /// the window instead: a stale "hardware already matches" verdict
+    /// re-arms whatever the interrupt left in the register file.
+    fn commit_mpu(&mut self, pid: usize) {
+        if self.commit_window_bug {
+            let elide = self.processes[pid].mpu_ready();
+            self.maybe_interrupt(pid, ArrivalPoint::MpuCommit);
+            if elide {
+                self.processes[pid].rearm_mpu();
+            } else {
+                self.processes[pid].setup_mpu();
+            }
+        } else {
+            self.maybe_interrupt(pid, ArrivalPoint::MpuCommit);
+            self.processes[pid].setup_mpu();
+        }
     }
 
     // ---- User-mode memory access (MPU-checked) ------------------------
@@ -355,6 +478,7 @@ impl Kernel {
             arg1: 0,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let result = self.processes[pid]
             .brk(PtrU8::new(new_break))
             .map_err(|e| match e {
@@ -362,7 +486,8 @@ impl Kernel {
                 ProcessError::Invalid => ErrorCode::Invalid,
             });
         // Context switch back into the process: apply the staged config.
-        self.processes[pid].setup_mpu();
+        self.commit_mpu(pid);
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::Brk,
@@ -384,6 +509,7 @@ impl Kernel {
             arg1: 0,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let result = if delta == 0 {
             Ok(self.processes[pid].app_break())
         } else {
@@ -395,7 +521,8 @@ impl Kernel {
                     ProcessError::Invalid => ErrorCode::Invalid,
                 })
         };
-        self.processes[pid].setup_mpu();
+        self.commit_mpu(pid);
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::Sbrk,
@@ -416,6 +543,7 @@ impl Kernel {
             arg1: 0,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let p = &self.processes[pid];
         let v = match op {
             1 => p.app_break(),
@@ -424,6 +552,7 @@ impl Kernel {
             4 => p.image.flash_start.as_usize(),
             5 => p.image.flash_start.as_usize() + p.image.flash_size,
             _ => {
+                self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
                 trace::record(TraceEvent::SyscallExit {
                     pid: pid as u32,
                     call: SyscallKind::Memop,
@@ -433,6 +562,7 @@ impl Kernel {
                 return Err(ErrorCode::Invalid);
             }
         };
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::Memop,
@@ -454,9 +584,11 @@ impl Kernel {
             arg1: 0,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         if !self.subscriptions[pid].contains(&driver_num) {
             self.subscriptions[pid].push(driver_num);
         }
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::Subscribe,
@@ -496,9 +628,11 @@ impl Kernel {
             arg1: len as u32,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let r = self.processes[pid]
             .build_readonly_buffer(PtrU8::new(addr), len)
             .map_err(|_| ErrorCode::Invalid);
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::AllowRo,
@@ -520,9 +654,11 @@ impl Kernel {
             arg1: len as u32,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let r = self.processes[pid]
             .build_readwrite_buffer(PtrU8::new(addr), len)
             .map_err(|_| ErrorCode::Invalid);
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::AllowRw,
@@ -549,7 +685,9 @@ impl Kernel {
             arg1: cmd,
             arg2: arg,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let result = self.dispatch_command(pid, driver_num, cmd, arg);
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::Command,
@@ -712,6 +850,7 @@ impl Kernel {
             arg1: 0,
             arg2: 0,
         });
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallEnter);
         let base = self.processes[pid].memory_start() + 64;
         let bytes = text.as_bytes();
         let mut inner = || -> Result<(), ErrorCode> {
@@ -725,6 +864,7 @@ impl Kernel {
             Ok(())
         };
         let r = inner();
+        self.maybe_interrupt(pid, ArrivalPoint::SyscallExit);
         trace::record(TraceEvent::SyscallExit {
             pid: pid as u32,
             call: SyscallKind::Print,
@@ -787,6 +927,7 @@ impl Kernel {
         self.upcalls[pid] = None;
         self.subscriptions[pid].clear();
         self.restart_due[pid] = None;
+        self.pending_respawn[pid] = false;
         self.machine.cache().invalidate();
         trace::record(TraceEvent::ProcessKill { pid: pid as u32 });
     }
@@ -918,6 +1059,19 @@ impl Kernel {
             let mut any_ready = false;
             #[allow(clippy::needless_range_loop)] // pid indexes two slices.
             for pid in 0..self.processes.len() {
+                // A front-run restart (interrupt service routine) left
+                // the program respawn to us: install the fresh instance
+                // before the process can be stepped again.
+                if self.pending_respawn[pid] {
+                    self.pending_respawn[pid] = false;
+                    if let Some(mk) = factories.and_then(|f| f.get(pid)) {
+                        apps[pid] = mk();
+                    } else {
+                        // No factory to respawn the program — mirror the
+                        // tick-top restart path's decision.
+                        self.kill_process(pid);
+                    }
+                }
                 if self.processes[pid].state != ProcessState::Ready {
                     continue;
                 }
@@ -930,7 +1084,8 @@ impl Kernel {
                     pid: pid as u32,
                     dir: SwitchDir::In,
                 });
-                self.processes[pid].setup_mpu();
+                self.commit_mpu(pid);
+                self.maybe_interrupt(pid, ArrivalPoint::SchedulerDecision);
                 // An armed Stack injection nudges the process's stack
                 // pointer below its block: the modelled push lands one
                 // word under `memory_start` and the MPU faults it.
@@ -996,7 +1151,12 @@ impl Kernel {
                 && self.capsules.alarms.is_empty()
                 && self.restart_due.iter().all(|due| due.is_none())
             {
-                break; // Deadlock: everyone yielded with nothing pending.
+                // Deadlock: everyone yielded with nothing pending. Mark
+                // it so the oracle can tell a wedged run from a clean
+                // everyone-exited completion instead of inferring it
+                // from trace truncation.
+                trace::record(TraceEvent::IdleExit);
+                break;
             }
         }
     }

@@ -12,6 +12,7 @@ pub mod campaign;
 pub mod capsules;
 pub mod corpus;
 pub mod differential;
+pub mod explore;
 pub mod grant;
 pub mod kernel;
 pub mod loader;

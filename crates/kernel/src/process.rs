@@ -93,6 +93,25 @@ trait MemoryOps: fmt::Debug {
     fn buffer_in_ram(&self, addr: PtrU8, len: usize) -> bool;
     /// Write the staged configuration into the hardware.
     fn setup_mpu(&self);
+    /// The commit-cache hit verdict *without* acting on it: `true` when
+    /// the live register file already holds this backend's configuration
+    /// at the current allocator generation, i.e. a commit could be
+    /// elided right now. Never stamps or invalidates the cache. Backends
+    /// without a cached commit path (legacy) always answer `false`.
+    fn mpu_ready(&self) -> bool {
+        false
+    }
+    /// Re-arms protection only (one `MPU_CTRL` write on ARM, nothing on
+    /// PMP) *without* committing the staged configuration — the second
+    /// half of a hit-elided commit, split out from [`Self::setup_mpu`].
+    /// Only sound when [`Self::mpu_ready`] holds at the moment of the
+    /// call; the deliberately planted commit-window bug
+    /// (`Kernel::commit_window_bug`) consists of acting on a *stale*
+    /// verdict across an interrupt window. Backends without an elided
+    /// path fall back to a full commit.
+    fn rearm_mpu(&self) {
+        self.setup_mpu();
+    }
     /// Scrub fault-recovery: reclaim grant memory and re-derive the
     /// staged protection state from the surviving break pointers.
     fn recover(&mut self) -> bool;
@@ -438,6 +457,15 @@ impl<M: Mpu + Clone + 'static> MemoryOps for Granular<M> {
         }
         self.alloc.configure_mpu(&self.mpu);
         self.cache.note_committed(self.pid, self.alloc.generation());
+    }
+
+    fn mpu_ready(&self) -> bool {
+        self.cache.lookup(self.pid, self.alloc.generation())
+            && self.mpu.hardware_matches(self.alloc.regions.as_slice())
+    }
+
+    fn rearm_mpu(&self) {
+        self.mpu.reenable_mpu();
     }
 
     fn recover(&mut self) -> bool {
@@ -797,6 +825,44 @@ impl Process {
         tt_hw::trace::record(tt_hw::trace::TraceEvent::MpuCommit {
             pid: self.pid as u32,
         });
+        let backend = &self.backend;
+        tt_hw::cycles::instrument("setup_mpu", || backend.setup_mpu())
+    }
+
+    /// Whether a [`Self::setup_mpu`] right now would take the elided
+    /// (cache-hit) path: the register file already holds this process's
+    /// configuration at the current generation. Pure query — no cache
+    /// stamp, no hardware write, no trace event.
+    pub fn mpu_ready(&self) -> bool {
+        self.backend.mpu_ready()
+    }
+
+    /// The elided half of a commit: re-arm protection without rewriting
+    /// the staged configuration. Records the same [`MpuCommit`] event as
+    /// [`Self::setup_mpu`] — logically it *is* the commit point — so a
+    /// kernel that splits verdict from action stays trace-identical to
+    /// one that uses `setup_mpu` whenever the split verdict is fresh.
+    /// Only sound when [`Self::mpu_ready`] holds at the moment of the
+    /// call.
+    ///
+    /// [`MpuCommit`]: tt_hw::trace::TraceEvent::MpuCommit
+    pub fn rearm_mpu(&self) {
+        tt_hw::trace::record(tt_hw::trace::TraceEvent::MpuCommit {
+            pid: self.pid as u32,
+        });
+        let backend = &self.backend;
+        tt_hw::cycles::instrument("setup_mpu", || backend.rearm_mpu())
+    }
+
+    /// Re-commits this process's configuration after the simulated
+    /// interrupt service routine perturbed the register file (a
+    /// front-run restart committed another process's configuration) —
+    /// the exception-return epilogue of `Kernel::interrupt_now`. Unlike
+    /// [`Self::setup_mpu`] this records no `MpuCommit` trace event: it
+    /// is interrupt plumbing, not a scheduling commit point, and the
+    /// explorer's oracle compares scheduled runs against references that
+    /// never take an interrupt.
+    pub fn restore_mpu_after_irq(&self) {
         let backend = &self.backend;
         tt_hw::cycles::instrument("setup_mpu", || backend.setup_mpu())
     }

@@ -74,7 +74,9 @@ pub struct MachineSnapshot {
     recoveries: Vec<u32>,
     recovery_cycles: Vec<u64>,
     mpu_scrub: bool,
+    commit_window_bug: bool,
     restart_due: Vec<Option<u64>>,
+    pending_respawn: Vec<bool>,
     upcalls: Vec<Option<Upcall>>,
     subscriptions: Vec<Vec<usize>>,
     ram_cursor: usize,
@@ -131,7 +133,9 @@ impl MachineSnapshot {
             recoveries: kernel.recoveries.clone(),
             recovery_cycles: kernel.recovery_cycles.clone(),
             mpu_scrub: kernel.mpu_scrub,
+            commit_window_bug: kernel.commit_window_bug,
             restart_due: kernel.restart_due.clone(),
+            pending_respawn: kernel.pending_respawn.clone(),
             upcalls: kernel.upcalls.clone(),
             subscriptions: kernel.subscriptions.clone(),
             ram_cursor: kernel.ram_cursor,
@@ -179,7 +183,9 @@ impl MachineSnapshot {
         kernel.recoveries.clone_from(&self.recoveries);
         kernel.recovery_cycles.clone_from(&self.recovery_cycles);
         kernel.mpu_scrub = self.mpu_scrub;
+        kernel.commit_window_bug = self.commit_window_bug;
         kernel.restart_due.clone_from(&self.restart_due);
+        kernel.pending_respawn.clone_from(&self.pending_respawn);
         kernel.upcalls.clone_from(&self.upcalls);
         kernel.subscriptions.clone_from(&self.subscriptions);
         kernel.ram_cursor = self.ram_cursor;
@@ -189,6 +195,9 @@ impl MachineSnapshot {
         // re-arm tracing with the boot prefix.
         if tt_hw::injection::is_armed() {
             let _ = tt_hw::injection::disarm();
+        }
+        if tt_hw::sched::is_armed() {
+            let _ = tt_hw::sched::disarm();
         }
         let _ = tt_contracts::take_violations();
         let _ = tt_hw::cycles::take_method_records();

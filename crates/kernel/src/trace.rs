@@ -143,6 +143,13 @@ pub fn observable_event(ev: &TraceEvent) -> Option<TraceEvent> {
         // (Kernel-level recovery events — `ProcessKill`,
         // `Recovery` — stay: both flavors emit them identically.)
         TraceEvent::FaultInjected { .. } => None,
+        // Interrupt entry/exit marks where the *schedule explorer* forced
+        // a timer interrupt to arrive early — pure timing, invisible to
+        // app code. The explorer's oracle compares scheduled runs against
+        // an unscheduled reference, so the markers must not diverge the
+        // observable stream by themselves; what the ISR *does* (restarts,
+        // faults, upcalls) still shows through its own events.
+        TraceEvent::IrqEnter { .. } | TraceEvent::IrqExit { .. } => None,
         TraceEvent::SyscallEnter {
             pid,
             call,
@@ -266,6 +273,9 @@ pub fn render_event(ev: &TraceEvent) -> String {
         TraceEvent::FaultInjected { pid, point, info } => {
             format!("pid{pid} FAULT INJECTED at {point:?} (info={info:#x})")
         }
+        TraceEvent::IrqEnter { pid, point } => format!("pid{pid} IRQ enter at {point:?}"),
+        TraceEvent::IrqExit { pid } => format!("pid{pid} IRQ exit"),
+        TraceEvent::IdleExit => "scheduler idle exit (all yielded, nothing pending)".to_string(),
     }
 }
 
@@ -284,8 +294,14 @@ pub fn event_pid(ev: &TraceEvent) -> Option<u32> {
         | TraceEvent::ProcessFault { pid }
         | TraceEvent::ProcessKill { pid }
         | TraceEvent::Recovery { pid, .. }
-        | TraceEvent::FaultInjected { pid, .. } => Some(pid),
-        TraceEvent::RegWrite { .. } | TraceEvent::AllocatorCommit { .. } => None,
+        | TraceEvent::FaultInjected { pid, .. }
+        | TraceEvent::IrqEnter { pid, .. }
+        | TraceEvent::IrqExit { pid } => Some(pid),
+        // `IdleExit` is a kernel-global marker, deliberately unattributed
+        // so the per-pid bystander streams are unaffected by it.
+        TraceEvent::RegWrite { .. } | TraceEvent::AllocatorCommit { .. } | TraceEvent::IdleExit => {
+            None
+        }
     }
 }
 
@@ -591,6 +607,51 @@ mod tests {
             assert!(line.contains(needle), "{line:?} missing {needle:?}");
             assert!(line.contains("pid2"));
         }
+    }
+
+    #[test]
+    fn observable_scope_drops_irq_markers_but_keeps_idle_exit() {
+        let scheduled = vec![
+            commit(0),
+            TraceEvent::IrqEnter {
+                pid: 0,
+                point: tt_hw::sched::ArrivalPoint::MpuCommit,
+            },
+            TraceEvent::IrqExit { pid: 0 },
+            TraceEvent::IdleExit,
+        ];
+        let reference = vec![commit(0), TraceEvent::IdleExit];
+        assert_eq!(
+            normalize(&scheduled, TraceScope::Observable),
+            normalize(&reference, TraceScope::Observable)
+        );
+        // A run that completed cleanly (no IdleExit) must diverge from a
+        // wedged one — that is the marker's whole point.
+        let clean = vec![commit(0)];
+        assert_ne!(
+            normalize(&scheduled, TraceScope::Observable),
+            normalize(&clean, TraceScope::Observable)
+        );
+    }
+
+    #[test]
+    fn irq_markers_are_pid_attributed_and_idle_exit_is_not() {
+        assert_eq!(
+            event_pid(&TraceEvent::IrqEnter {
+                pid: 3,
+                point: tt_hw::sched::ArrivalPoint::SyscallEnter,
+            }),
+            Some(3)
+        );
+        assert_eq!(event_pid(&TraceEvent::IrqExit { pid: 3 }), Some(3));
+        assert_eq!(event_pid(&TraceEvent::IdleExit), None);
+        // Rendering smoke test for the new kinds.
+        let line = render_event(&TraceEvent::IrqEnter {
+            pid: 3,
+            point: tt_hw::sched::ArrivalPoint::SyscallExit,
+        });
+        assert!(line.contains("IRQ enter") && line.contains("pid3"));
+        assert!(render_event(&TraceEvent::IdleExit).contains("idle exit"));
     }
 
     #[test]
